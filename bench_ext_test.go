@@ -1,0 +1,135 @@
+package repro
+
+// Benchmarks for the extension experiments (paper systems beyond its
+// figures): multiphysics droop/timing, longer-ropes prediction,
+// IP-preserving sharing, and Stage-4 reinforcement learning.
+
+import "testing"
+
+func BenchmarkExtMultiphysics(b *testing.B) {
+	var delta, raw, ml float64
+	for i := 0; i < b.N; i++ {
+		r, err := Multiphysics(benchScale(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta, raw, ml = r.DroopDeltaPs, r.RawPs, r.MLCorrectedPs
+	}
+	b.ReportMetric(delta, "droop_wns_delta_ps")
+	b.ReportMetric(raw, "raw_mae_ps")
+	b.ReportMetric(ml, "ml_mae_ps")
+}
+
+func BenchmarkExtLongerRopes(b *testing.B) {
+	var shortR2, longR2, prefix10 float64
+	for i := 0; i < b.N; i++ {
+		r, err := Ropes(benchScale(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range r.Evals {
+			switch e.Rope {
+			case "netlist->synth-area":
+				shortR2 = e.TestR2
+			case "netlist->signoff-wns":
+				longR2 = e.TestR2
+			}
+		}
+		prefix10 = r.PrefixAccuracy[10]
+	}
+	b.ReportMetric(shortR2, "short_rope_r2")
+	b.ReportMetric(longR2, "long_rope_r2")
+	b.ReportMetric(prefix10*100, "prefix10_acc_%")
+}
+
+func BenchmarkExtSharing(b *testing.B) {
+	var leaks, drift float64
+	for i := 0; i < b.N; i++ {
+		r := Sharing(benchScale(), int64(i))
+		leaks = float64(r.Leaks)
+		drift = r.FlowDeltaPct
+	}
+	b.ReportMetric(leaks, "leaks")
+	b.ReportMetric(drift, "flow_delta_%")
+}
+
+func BenchmarkExtStageFourRL(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r := StageFourRL(benchScale(), int64(i))
+		gain = r.LateReward - r.EarlyReward
+	}
+	b.ReportMetric(gain, "reward_gain")
+}
+
+func BenchmarkExtBanditRobustness(b *testing.B) {
+	var ts, eg float64
+	for i := 0; i < b.N; i++ {
+		r := Fig7Robustness(int64(i))
+		ts = r.WorstRel["thompson"]
+		eg = r.WorstRel["eps-greedy"]
+	}
+	b.ReportMetric(ts, "thompson_worst_rel")
+	b.ReportMetric(eg, "epsgreedy_worst_rel")
+}
+
+func BenchmarkExtLastMileRobots(b *testing.B) {
+	var drcR, drcN, memR, memN float64
+	var cross int
+	for i := 0; i < b.N; i++ {
+		r := LastMile(benchScale(), int64(i))
+		drcR, drcN = r.DRCRobotAttempts, r.DRCNaiveAttempts
+		memR, memN = r.MemRobotWL, r.MemRandomWL
+		cross = r.PkgGreedyCrossings
+	}
+	b.ReportMetric(drcR, "drc_robot_attempts")
+	b.ReportMetric(drcN, "drc_naive_attempts")
+	b.ReportMetric(memR/memN, "mem_wl_ratio")
+	b.ReportMetric(float64(cross), "pkg_greedy_crossings")
+}
+
+func BenchmarkExtRentStructure(b *testing.B) {
+	var pulpino float64
+	for i := 0; i < b.N; i++ {
+		r := NaturalStructure(benchScale(), int64(i))
+		pulpino = r.Exponents["pulpino-proxy"]
+	}
+	b.ReportMetric(pulpino, "pulpino_rent_p")
+}
+
+func BenchmarkExtChickenEgg(b *testing.B) {
+	var r2 float64
+	var iters float64
+	for i := 0; i < b.N; i++ {
+		r := ChickenEgg(benchScale(), int64(i))
+		r2 = r.PredictionR2
+		iters = float64(r.Iterations)
+	}
+	b.ReportMetric(iters, "fixed_point_iters")
+	b.ReportMetric(r2, "prediction_r2")
+}
+
+func BenchmarkExtMissingCorner(b *testing.B) {
+	var model, base float64
+	for i := 0; i < b.N; i++ {
+		r, err := MissingCorner(benchScale(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, base = r.ModelMAEPs, r.BaselineMAEPs
+	}
+	b.ReportMetric(model, "model_mae_ps")
+	b.ReportMetric(base, "baseline_mae_ps")
+}
+
+func BenchmarkExtProjectSchedule(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		r, err := ProjectSchedule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = r.SavingsPct
+	}
+	b.ReportMetric(savings, "best_vs_fifo_savings_%")
+}

@@ -1,0 +1,44 @@
+// Command costroadmap reproduces the paper's roadmap economics: the
+// Design Capability Gap of Fig. 1, the design-cost trajectories of Fig.
+// 2 (including the footnote-1 counterfactuals), the margin model of
+// Fig. 4, and the option-tree arithmetic of Fig. 5.
+//
+// Usage:
+//
+//	costroadmap [-fig 1|2|4|5|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to print: 1, 2, 4, 5, or all")
+	flag.Parse()
+
+	switch *fig {
+	case "1":
+		repro.Fig1().Print(os.Stdout)
+	case "2":
+		repro.Fig2().Print(os.Stdout)
+	case "4":
+		repro.PrintFig4(os.Stdout, repro.Fig4(1.1))
+	case "5":
+		repro.Fig5().Print(os.Stdout)
+	case "all":
+		repro.Fig1().Print(os.Stdout)
+		fmt.Println()
+		repro.Fig2().Print(os.Stdout)
+		fmt.Println()
+		repro.PrintFig4(os.Stdout, repro.Fig4(1.1))
+		fmt.Println()
+		repro.Fig5().Print(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

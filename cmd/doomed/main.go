@@ -1,0 +1,49 @@
+// Command doomed reproduces the paper's doomed-run prediction
+// experiments: the DRV trajectories of Fig. 9, the MDP strategy card of
+// Fig. 10, and the consecutive-STOP error table (Table 1).
+//
+// Usage:
+//
+//	doomed -fig9          # representative DRV trajectories
+//	doomed -card          # the strategy card
+//	doomed -table         # the Type1/Type2 error table
+//	doomed -all           # everything
+//	      [-scale small|paper] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	fig9 := flag.Bool("fig9", false, "print DRV trajectories (Fig. 9)")
+	card := flag.Bool("card", false, "print the MDP strategy card (Fig. 10)")
+	table := flag.Bool("table", false, "print the consecutive-STOP error table (Table 1)")
+	all := flag.Bool("all", false, "print everything")
+	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	s := repro.Small
+	if *scale == "paper" {
+		s = repro.Paper
+	}
+	if !*fig9 && !*card && !*table && !*all {
+		*all = true
+	}
+	if *all || *fig9 {
+		repro.Fig9(s, *seed).Print(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *card {
+		repro.Fig10(s, *seed).Print(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *table {
+		repro.Table1(s, *seed).Print(os.Stdout)
+	}
+}

@@ -1,0 +1,41 @@
+// Command gwtwopt reproduces the paper's Fig. 6 search strategies:
+// go-with-the-winners over gate-sizing threads (6a) and adaptive
+// multistart over placement with big-valley measurement (6b).
+//
+// Usage:
+//
+//	gwtwopt [-part a|b|both] [-scale small|paper] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	part := flag.String("part", "both", "which panel: a, b, or both")
+	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	s := repro.Small
+	if *scale == "paper" {
+		s = repro.Paper
+	}
+	switch *part {
+	case "a":
+		repro.Fig6a(s, *seed).Print(os.Stdout)
+	case "b":
+		repro.Fig6b(s, *seed).Print(os.Stdout)
+	case "both":
+		repro.Fig6a(s, *seed).Print(os.Stdout)
+		fmt.Println()
+		repro.Fig6b(s, *seed).Print(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown part %q\n", *part)
+		os.Exit(2)
+	}
+}

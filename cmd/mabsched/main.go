@@ -1,0 +1,34 @@
+// Command mabsched reproduces the paper's Fig. 7: multi-armed-bandit
+// sampling of SP&R flow targets with K concurrent tool runs per
+// iteration, plus the cross-algorithm comparison (Thompson vs softmax vs
+// epsilon-greedy vs UCB1).
+//
+// Usage:
+//
+//	mabsched [-scale small|paper] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	s := repro.Small
+	if *scale == "paper" {
+		s = repro.Paper
+	}
+	res, err := repro.Fig7(s, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+}

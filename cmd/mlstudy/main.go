@@ -1,0 +1,91 @@
+// Command mlstudy runs the ML-application studies: the accuracy-cost
+// curve with ML correction (Fig. 8), the "longer ropes" prediction-span
+// study, the multiphysics droop/timing loop, the IP-preserving sharing
+// check, the bandit robustness grid, and Stage-4 Q-learning.
+//
+// Usage:
+//
+//	mlstudy [-study fig8|ropes|multiphysics|sharing|bandits|rl|all]
+//	        [-scale small|paper] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	study := flag.String("study", "all", "fig8, ropes, multiphysics, sharing, bandits, rl, lastmile, structure, chickenegg, corners, schedule, or all")
+	scale := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	s := repro.Small
+	if *scale == "paper" {
+		s = repro.Paper
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run := func(name string) {
+		switch name {
+		case "fig8":
+			r, err := repro.Fig8(s, *seed)
+			if err != nil {
+				fail(err)
+			}
+			r.Print(os.Stdout)
+		case "ropes":
+			r, err := repro.Ropes(s, *seed)
+			if err != nil {
+				fail(err)
+			}
+			r.Print(os.Stdout)
+		case "multiphysics":
+			r, err := repro.Multiphysics(s, *seed)
+			if err != nil {
+				fail(err)
+			}
+			r.Print(os.Stdout)
+		case "sharing":
+			repro.Sharing(s, *seed).Print(os.Stdout)
+		case "bandits":
+			repro.Fig7Robustness(*seed).Print(os.Stdout)
+		case "rl":
+			repro.StageFourRL(s, *seed).Print(os.Stdout)
+		case "lastmile":
+			repro.LastMile(s, *seed).Print(os.Stdout)
+		case "structure":
+			repro.NaturalStructure(s, *seed).Print(os.Stdout)
+		case "chickenegg":
+			repro.ChickenEgg(s, *seed).Print(os.Stdout)
+		case "corners":
+			r, err := repro.MissingCorner(s, *seed)
+			if err != nil {
+				fail(err)
+			}
+			r.Print(os.Stdout)
+		case "schedule":
+			r, err := repro.ProjectSchedule()
+			if err != nil {
+				fail(err)
+			}
+			r.Print(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown study %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *study == "all" {
+		for _, name := range []string{"fig8", "ropes", "multiphysics", "sharing", "bandits", "rl", "lastmile", "structure", "chickenegg", "corners", "schedule"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*study)
+}

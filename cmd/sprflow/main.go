@@ -1,0 +1,77 @@
+// Command sprflow runs the simulated SP&R implementation flow on a
+// synthetic design and prints the QOR report — the atomic tool run every
+// experiment in this repository drives.
+//
+// Usage:
+//
+//	sprflow -design pulpino -freq 0.6 -seed 1 [-effort 2] [-robot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	design := flag.String("design", "pulpino", "design: pulpino, cpu, artificial, tiny")
+	freq := flag.Float64("freq", 0.5, "target frequency, GHz")
+	seed := flag.Int64("seed", 1, "run seed")
+	effort := flag.Int("effort", 2, "synthesis effort 1..3")
+	robot := flag.Bool("robot", false, "run as a Stage-1 robot engineer (retry to success)")
+	flag.Parse()
+
+	var spec repro.DesignSpec
+	switch *design {
+	case "pulpino":
+		spec = repro.PulpinoProxy(*seed)
+	case "cpu":
+		spec = repro.EmbeddedCPU(*seed)
+	case "artificial":
+		spec = repro.Artificial(*seed)
+	case "tiny":
+		spec = repro.TinyDesign(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	d := repro.NewDesign(repro.DefaultLibrary(), spec)
+	stats := d.ComputeStats()
+	fmt.Printf("design %s: %d cells, %d registers, %d nets, depth %d\n",
+		d.Name, stats.Cells, stats.Registers, stats.Nets, stats.MaxLevel)
+
+	opts := repro.FlowOptions{TargetFreqGHz: *freq, Seed: *seed, SynthEffort: *effort}
+	if *robot {
+		out := (repro.Robot{Design: d, Base: opts}).Execute()
+		fmt.Printf("robot: %d attempts, succeeded=%t, runtime proxy %.1f\n",
+			len(out.Attempts), out.Succeeded, out.RuntimeProxy)
+		for i, a := range out.Attempts {
+			fmt.Printf("  attempt %d: %.3f GHz -> met=%t wns=%.1fps drvs=%d  %s\n",
+				i, a.Options.TargetFreqGHz, a.Result.Met, a.Result.WNSPs, a.Result.Route.Final, a.Reason)
+		}
+		if !out.Succeeded {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res := repro.RunFlow(d, opts)
+	fmt.Printf("synth:   area %.1f um2, wns %.1f ps, %d upsized, %d buffers\n",
+		res.Synth.AreaUm2, res.Synth.WNSPs, res.Synth.Upsized, res.Synth.BuffersAdded)
+	fmt.Printf("place:   hpwl %.1f um (from %.1f)\n", res.Place.HPWLUm, res.Place.InitialHPWLUm)
+	fmt.Printf("cts:     %d buffers, skew %.1f ps, latency %.1f ps\n",
+		res.CTS.Buffers, res.CTS.MaxSkewPs, res.CTS.LatencyPs)
+	fmt.Printf("groute:  wirelength %.1f um, overflow %.1f (peak %.1f), margin %.3f\n",
+		res.Global.WirelengthUm, res.Global.OverflowTotal, res.Global.OverflowPeak, res.Global.CongestionMargin())
+	fmt.Printf("droute:  %d -> %d DRVs over %d iterations (success=%t)\n",
+		res.Route.DRVs[0], res.Route.Final, res.Route.IterationsRun, res.Route.Success)
+	fmt.Printf("signoff: wns %.1f ps, tns %.1f ps, max freq %.3f GHz\n",
+		res.Sign.WNSPs, res.Sign.TNSPs, res.Sign.MaxFreqGHz)
+	fmt.Printf("QOR:     area %.1f um2, power %.1f nW, met=%t, runtime proxy %.1f\n",
+		res.AreaUm2, res.PowerNW, res.Met, res.RuntimeProxy)
+	if !res.Met {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Doomed runs: train the MDP "blackjack strategy card" on router
+// logfiles from artificial layouts, evaluate it on an embedded-CPU
+// corpus (the paper's Table-1 protocol), and then use it live as a
+// Stage-3 flow monitor that stops hopeless routing runs early.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/logfile"
+	"repro/internal/mdp"
+)
+
+func main() {
+	// Corpora: training on artificial layouts, testing on the
+	// embedded-CPU proxy, as in the paper.
+	train, test := repro.Corpora(repro.Small, 1)
+	ts, xs := logfile.Summarize(train), logfile.Summarize(test)
+	fmt.Printf("training corpus: %d runs (%d doomed); testing: %d runs (%d doomed)\n\n",
+		ts.Runs, ts.Doomed, xs.Runs, xs.Doomed)
+
+	// The strategy card (Fig. 10).
+	card := mdp.BuildCard(train, mdp.CardConfig{})
+	fmt.Println("strategy card (S/s = STOP, ./, = GO; lowercase = fill-in):")
+	fmt.Print(card.String())
+
+	// The consecutive-STOP error table (Table 1).
+	fmt.Println("\nerrors on the test corpus:")
+	for _, k := range []int{1, 2, 3} {
+		ev := card.Evaluate(test, k)
+		fmt.Printf("  %d consecutive STOPs: total %.2f%%  type1=%d  type2=%d  iterations saved=%d/%d\n",
+			k, ev.TotalErrorPct, ev.Type1, ev.Type2, ev.IterationsSaved, ev.IterationsTotal)
+	}
+
+	// Live Stage-3 supervision of congested flow runs.
+	fmt.Println("\nlive monitoring of congested flow runs (3 consecutive STOPs):")
+	design := repro.NewDesign(repro.DefaultLibrary(), repro.TinyDesign(3))
+	runner := core.PrunedRunner{Card: card, ConsecutiveStops: 3}
+	study := core.StudyPruning(design, flow.Options{
+		TargetFreqGHz: 0.3, Seed: 9, TracksPerEdge: 1.3, // starved routing supply
+	}, runner, 8)
+	fmt.Printf("  %d runs, %d doomed, %d of the doomed stopped early\n",
+		study.Runs, study.DoomedRuns, study.DoomedStopped)
+	fmt.Printf("  schedule saved: %.1f%% (runtime %.1f -> %.1f)\n",
+		study.SavedRuntimePct, study.RuntimeUnpruned, study.RuntimePruned)
+	if study.Type1 > 0 {
+		fmt.Printf("  (%d successful run(s) stopped by mistake — Type 1)\n", study.Type1)
+	}
+	if study.DoomedRuns == 0 {
+		fmt.Fprintln(os.Stderr, "note: no doomed runs at this congestion level; increase starvation")
+	}
+}

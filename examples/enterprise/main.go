@@ -1,0 +1,64 @@
+// Enterprise view: the paper's cost argument end to end. The ITRS cost
+// model shows why design cost explodes without design-technology
+// innovation; project-level scheduling (ref [1]) shows what better
+// resource allocation buys; and a fleet of robot engineers implements
+// the portfolio's blocks with no human in the loop — the "24-hour,
+// no-human" design shop the DARPA IDEA program calls for.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/costmodel"
+	"repro/internal/schedule"
+)
+
+func main() {
+	// 1. The economics: what one SOC costs with and without DT
+	// innovation delivered on time.
+	p := costmodel.Default()
+	inn := costmodel.DefaultInnovations()
+	withDT := costmodel.Project(p, inn, 2026, 2026, 3000)[0]
+	noDT := costmodel.Project(p, inn, 2026, 2026, 2013)[0]
+	fmt.Printf("2026 SOC design cost: $%.0fM with DT innovation, $%.0fM without\n",
+		withDT.DesignCostUSD/1e6, noDT.DesignCostUSD/1e6)
+
+	// 2. The schedule: allocate 10 engineers across a 4-project
+	// portfolio; deadline-aware allocation versus first-come.
+	projects := []schedule.Project{
+		{Name: "soc-a", Release: 0, Due: 24, WorkEM: 60, MaxParallel: 6},
+		{Name: "soc-b", Release: 2, Due: 8, WorkEM: 30, MaxParallel: 8},
+		{Name: "ip-c", Release: 4, Due: 10, WorkEM: 20, MaxParallel: 4},
+		{Name: "deriv-d", Release: 6, Due: 14, WorkEM: 24, MaxParallel: 6},
+	}
+	outs, err := schedule.Compare(projects, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nportfolio scheduling (10 engineers):")
+	for _, o := range outs {
+		fmt.Printf("  %-15s penalties $%.1fM, %d late projects, %.0f%% utilization\n",
+			o.Policy, o.PenaltyUSD/1e6, o.LateProjects, o.Utilization*100)
+	}
+
+	// 3. The execution: one robot engineer per block, no humans. Each
+	// robot drives its block to timing closure and reports.
+	fmt.Println("\nrobot fleet implementing the blocks:")
+	lib := repro.DefaultLibrary()
+	for i, name := range []string{"soc-a-block", "soc-b-block", "ip-c-block"} {
+		design := repro.NewDesign(lib, repro.TinyDesign(int64(10+i)))
+		probe := repro.RunFlow(design, repro.FlowOptions{TargetFreqGHz: 0.3, Seed: int64(i)})
+		robot := repro.Robot{
+			Design: design,
+			Base:   repro.FlowOptions{TargetFreqGHz: probe.MaxFreqGHz * 1.5, Seed: int64(i)},
+		}
+		out := robot.Execute()
+		status := "CLOSED"
+		if !out.Succeeded {
+			status = "OPEN"
+		}
+		fmt.Printf("  %-12s %s at %.3f GHz after %d attempts (runtime proxy %.0f)\n",
+			name, status, out.Final.Options.TargetFreqGHz, len(out.Attempts), out.RuntimeProxy)
+	}
+}

@@ -1,0 +1,64 @@
+// METRICS pipeline: stand up the collection server, instrument a flow
+// campaign so every tool step transmits XML records over HTTP, then
+// mine the store for option guidance and feed it back into the next
+// runs — the full Fig. 11 loop, including the Stage-4 adaptive agent.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// Collection server on an ephemeral port.
+	srv := metrics.NewServer(nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("METRICS server on %s\n\n", addr)
+	tx := metrics.NewTransmitter("http://" + addr)
+
+	// An instrumented campaign over a ladder of targets.
+	design := repro.NewDesign(repro.DefaultLibrary(), repro.TinyDesign(5))
+	probe := repro.RunFlow(design, repro.FlowOptions{TargetFreqGHz: 0.3, Seed: 1})
+	fmax := probe.MaxFreqGHz
+	for i, f := range []float64{fmax * 0.6, fmax * 0.8, fmax * 0.95, fmax * 1.1} {
+		for s := 0; s < 3; s++ {
+			flow.RunObserved(design, flow.Options{TargetFreqGHz: f, Seed: int64(i*10 + s)}, tx)
+		}
+	}
+	sent, failed := tx.Counts()
+	fmt.Printf("campaign: %d records transmitted (%d failed), server holds %d\n\n",
+		sent, failed, srv.Store.Len())
+
+	// Mining: sensitivities, best options, achievable frequency.
+	miner := metrics.Miner{Store: srv.Store}
+	if corr, err := miner.Sensitivity("synth", "target_freq_ghz", "area"); err == nil {
+		fmt.Printf("mined sensitivity target->area: %+.3f\n", corr)
+	}
+	if best, ok := miner.BestTargetFreq(design.Name); ok {
+		fmt.Printf("best met target so far:        %.3f GHz\n", best)
+	}
+	if lo, hi, err := miner.PrescribeFreqRange(design.Name); err == nil {
+		fmt.Printf("prescribed achievable range:   %.3f - %.3f GHz\n", lo, hi)
+	}
+
+	// Stage 4: the adaptive agent closes the loop, retuning its own
+	// options from the miner after every run.
+	fmt.Println("\nadaptive agent (starts too aggressive, self-corrects):")
+	agent := core.Agent{
+		Design: design,
+		Store:  srv.Store,
+		Start:  repro.FlowOptions{TargetFreqGHz: fmax * 1.4, Seed: 100},
+	}
+	for _, round := range agent.RunRounds(5) {
+		fmt.Printf("  round %d: target %.3f GHz -> met=%t (WNS %.1f ps)\n",
+			round.Round, round.TargetFreqGHz, round.Met, round.WNSPs)
+	}
+}

@@ -1,0 +1,58 @@
+// Robot engineer: the paper's Stage-1 and Stage-2 ML insertion in
+// action. A single robot drives a too-aggressive target to closure by
+// expert-system retries; then an orchestrated fleet of robots, steered
+// by Thompson Sampling under a 5-license pool, finds the best feasible
+// frequency — no human in the loop.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	lib := repro.DefaultLibrary()
+	design := repro.NewDesign(lib, repro.TinyDesign(7))
+
+	// --- Stage 1: one robot, one (too ambitious) target. ---
+	fmt.Println("Stage 1: robot engineer retries an aggressive target")
+	robot := repro.Robot{
+		Design: design,
+		Base:   repro.FlowOptions{TargetFreqGHz: 8.0, Seed: 1},
+	}
+	out := robot.Execute()
+	for i, a := range out.Attempts {
+		fmt.Printf("  attempt %d: %.3f GHz -> met=%-5t  %s\n",
+			i, a.Options.TargetFreqGHz, a.Result.Met, a.Reason)
+	}
+	fmt.Printf("  => succeeded=%t after %d attempts (runtime proxy %.1f)\n\n",
+		out.Succeeded, len(out.Attempts), out.RuntimeProxy)
+
+	// --- Stage 2: orchestrated search over a frequency ladder. ---
+	fmt.Println("Stage 2: 5 concurrent robots, Thompson Sampling over targets")
+	probe := repro.RunFlow(design, repro.FlowOptions{TargetFreqGHz: 0.3, Seed: 1})
+	fmax := probe.MaxFreqGHz
+	arms := []float64{fmax * 0.6, fmax * 0.8, fmax * 1.0, fmax * 1.3, fmax * 2.5}
+	res, err := repro.Search(design, repro.FlowOptions{Seed: 2}, repro.Constraints{},
+		repro.SearchConfig{
+			Freqs:      arms,
+			Iterations: 12,
+			Licenses:   5,
+			Algorithm:  "thompson",
+			Seed:       2,
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  arms (GHz):")
+	for _, f := range arms {
+		fmt.Printf(" %.2f", f)
+	}
+	fmt.Println()
+	for t, best := range res.BestFreqSoFar {
+		fmt.Printf("  iter %2d: best feasible so far %.3f GHz\n", t, best)
+	}
+	fmt.Printf("  => %d runs under %d licenses; best feasible %.3f GHz (area %.1f um^2)\n",
+		res.TotalRuns, res.PeakLicenses, res.BestFreqGHz, res.BestArea)
+}

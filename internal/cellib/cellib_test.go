@@ -1,0 +1,157 @@
+package cellib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault14nmComplete(t *testing.T) {
+	lib := Default14nm()
+	if len(lib.Cells()) != 11*5 {
+		t.Fatalf("got %d cells, want 55", len(lib.Cells()))
+	}
+	for c := Class(0); c < numClasses; c++ {
+		vars := lib.Variants(c)
+		if len(vars) != 5 {
+			t.Errorf("class %v: got %d variants, want 5", c, len(vars))
+		}
+		for i := 1; i < len(vars); i++ {
+			if vars[i].Drive <= vars[i-1].Drive {
+				t.Errorf("class %v: variants not sorted by drive", c)
+			}
+			if vars[i].Area <= vars[i-1].Area {
+				t.Errorf("class %v: area should grow with drive", c)
+			}
+			if vars[i].Resist >= vars[i-1].Resist {
+				t.Errorf("class %v: resistance should shrink with drive", c)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	lib := Default14nm()
+	c, ok := lib.ByName("ND2_X4")
+	if !ok {
+		t.Fatal("ND2_X4 not found")
+	}
+	if c.Class != Nand2 || c.Drive != 4 {
+		t.Fatalf("got %+v", c)
+	}
+	if _, ok := lib.ByName("NOPE"); ok {
+		t.Fatal("found nonexistent cell")
+	}
+}
+
+func TestUpsizeDownsizeChain(t *testing.T) {
+	lib := Default14nm()
+	c := lib.Smallest(Inverter)
+	steps := 0
+	for {
+		up, ok := lib.Upsize(c)
+		if !ok {
+			break
+		}
+		if up.Drive <= c.Drive {
+			t.Fatalf("upsize did not increase drive: %d -> %d", c.Drive, up.Drive)
+		}
+		c = up
+		steps++
+	}
+	if steps != 4 {
+		t.Fatalf("got %d upsize steps, want 4", steps)
+	}
+	if c.Name != lib.Largest(Inverter).Name {
+		t.Fatalf("chain did not end at largest: %s", c.Name)
+	}
+	for {
+		down, ok := lib.Downsize(c)
+		if !ok {
+			break
+		}
+		c = down
+		steps--
+	}
+	if steps != 0 || c.Name != lib.Smallest(Inverter).Name {
+		t.Fatalf("downsize chain did not return to smallest (steps=%d, cell=%s)", steps, c.Name)
+	}
+}
+
+func TestDelayMonotoneInLoad(t *testing.T) {
+	lib := Default14nm()
+	c := lib.Smallest(Nand2)
+	f := func(a, b float64) bool {
+		la, lb := abs(a), abs(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return c.Delay(la) <= c.Delay(lb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargerDriveFasterUnderLoad(t *testing.T) {
+	lib := Default14nm()
+	for c := Class(0); c < numClasses; c++ {
+		small, large := lib.Smallest(c), lib.Largest(c)
+		const load = 30.0
+		if large.Delay(load) >= small.Delay(load) {
+			t.Errorf("class %v: X%d not faster than X%d under %v fF", c, large.Drive, small.Drive, load)
+		}
+	}
+}
+
+func TestWireDelayPositiveAndSuperlinear(t *testing.T) {
+	w := Default14nm().Wire
+	d10 := w.Delay(10, 2.0)
+	d20 := w.Delay(20, 2.0)
+	if d10 <= 0 || d20 <= 0 {
+		t.Fatalf("wire delays must be positive: %v %v", d10, d20)
+	}
+	if d20 <= 2*d10 {
+		t.Errorf("Elmore wire delay should be superlinear in length: d(20)=%v vs 2*d(10)=%v", d20, 2*d10)
+	}
+}
+
+func TestClassMetadata(t *testing.T) {
+	if !DFF.Sequential() {
+		t.Error("DFF must be sequential")
+	}
+	if Inverter.Sequential() {
+		t.Error("Inverter must not be sequential")
+	}
+	if got := Nand3.NumInputs(); got != 3 {
+		t.Errorf("Nand3 inputs = %d, want 3", got)
+	}
+	if got := Inverter.String(); got != "INV" {
+		t.Errorf("Inverter.String() = %q", got)
+	}
+	if got := Class(99).String(); got != "Class(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestSequentialTiming(t *testing.T) {
+	lib := Default14nm()
+	d := lib.Smallest(DFF)
+	if d.SetupTime <= 0 || d.ClkToQ <= 0 {
+		t.Fatalf("DFF must have setup and clk->q: %+v", d)
+	}
+}
+
+func TestMaxLoadScalesWithDrive(t *testing.T) {
+	lib := Default14nm()
+	small, large := lib.Smallest(Buffer), lib.Largest(Buffer)
+	if large.MaxLoad() <= small.MaxLoad() {
+		t.Error("max load should grow with drive")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

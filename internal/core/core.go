@@ -1,0 +1,193 @@
+// Package core operationalizes the paper's roadmap: the four stages of
+// ML insertion into IC implementation (Fig. 5(b)) built on top of every
+// substrate in this repository.
+//
+//	Stage 1 — mechanize/automate: Robot, a 24/7 "robot engineer" that
+//	  drives the SP&R flow to completion with expert-system retries.
+//	Stage 2 — orchestration of search: Search, N concurrent robots
+//	  sampling the flow-option tree under a license pool, steered by a
+//	  multi-armed bandit (the Fig. 7 methodology).
+//	Stage 3 — pruning via predictors: PrunedRunner, flow runs
+//	  supervised by the doomed-run MDP strategy card (Figs. 9-10).
+//	Stage 4 — learning loop: Agent, a METRICS-connected adaptive flow
+//	  that feeds mined predictions back into its own options.
+//
+// The package also models the flow-option trajectory tree of Fig. 5(a)
+// and the margin/predictability feedback loop of Fig. 4.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// Robot is the Stage-1 robot engineer: it executes a flow target to
+// completion without a human, applying the trial-and-error recovery
+// rules an expert would (back off frequency on timing failure, add
+// routing effort and whitespace on congestion failure).
+type Robot struct {
+	Design      *netlist.Netlist
+	Base        flow.Options
+	Constraints flow.Constraints
+	MaxAttempts int // default 6
+}
+
+// Attempt is one flow execution the robot made.
+type Attempt struct {
+	Options flow.Options
+	Result  *flow.Result
+	Reason  string // why the next attempt was changed ("" if final)
+}
+
+// RobotResult is the robot's overall outcome.
+type RobotResult struct {
+	Succeeded    bool
+	Final        *flow.Result
+	Attempts     []Attempt
+	RuntimeProxy float64
+}
+
+// Execute runs the robot until success or the attempt budget expires.
+func (r Robot) Execute() RobotResult {
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 6
+	}
+	opts := r.Base
+	var out RobotResult
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		opts.Seed = r.Base.Seed + int64(attempt)*7919
+		res := flow.Run(r.Design, opts)
+		out.RuntimeProxy += res.RuntimeProxy
+		a := Attempt{Options: opts, Result: res}
+		if r.Constraints.Satisfied(res) {
+			out.Attempts = append(out.Attempts, a)
+			out.Succeeded = true
+			out.Final = res
+			return out
+		}
+		// Expert-system recovery rules.
+		switch {
+		case !res.RouteOK && res.Global.OverflowTotal > 0:
+			a.Reason = "congestion: +route effort, -utilization"
+			if opts.RouteEffort < 3 {
+				opts.RouteEffort++
+			}
+			if opts.Utilization == 0 {
+				opts.Utilization = 0.55
+			} else if opts.Utilization > 0.4 {
+				opts.Utilization -= 0.05
+			}
+		case !res.TimingMet:
+			// Back off toward the measured capability: signoff
+			// reported the achievable frequency, so aim just under
+			// it rather than creeping down 5% at a time.
+			a.Reason = "timing: retarget below measured fmax, +synth effort"
+			next := res.Options.TargetFreqGHz * 0.95
+			if res.MaxFreqGHz > 0 && res.MaxFreqGHz*0.97 < next {
+				next = res.MaxFreqGHz * 0.97
+			}
+			opts.TargetFreqGHz = next
+			if opts.SynthEffort < 3 {
+				opts.SynthEffort++
+			}
+		default:
+			a.Reason = "constraints: -3% target"
+			opts.TargetFreqGHz = res.Options.TargetFreqGHz * 0.97
+		}
+		out.Attempts = append(out.Attempts, a)
+		out.Final = res
+	}
+	return out
+}
+
+// FreqArms is the bandit environment of the Fig. 7 experiment: arms are
+// target frequencies for the SP&R flow on a fixed design; the reward of
+// a pull is success under the QOR constraint box, optionally weighted by
+// the frequency achieved (so higher feasible targets earn more).
+type FreqArms struct {
+	Design      *netlist.Netlist
+	Freqs       []float64
+	Base        flow.Options
+	Constraints flow.Constraints
+	// FreqWeighted scales success rewards by arm frequency relative to
+	// the fastest arm, making "highest feasible frequency" the optimum.
+	FreqWeighted bool
+
+	// estOptimal is set by Calibrate; OptimalMean returns 1 until then.
+	estOptimal float64
+	// Outcomes collects every flow result for post-analysis (the dots
+	// of Fig. 7). Not safe for concurrent Reward calls.
+	Outcomes []ArmOutcome
+}
+
+// ArmOutcome records one sampled tool run.
+type ArmOutcome struct {
+	Arm       int
+	FreqGHz   float64
+	Satisfied bool
+	AreaUm2   float64
+	WNSPs     float64
+	Runtime   float64
+}
+
+// NumArms implements mab.Environment.
+func (e *FreqArms) NumArms() int { return len(e.Freqs) }
+
+// Reward implements mab.Environment: runs the flow at the arm's target
+// with a seed drawn from rng.
+func (e *FreqArms) Reward(arm int, rng *rand.Rand) float64 {
+	opts := e.Base
+	opts.TargetFreqGHz = e.Freqs[arm]
+	opts.Seed = rng.Int63()
+	res := flow.Run(e.Design, opts)
+	ok := e.Constraints.Satisfied(res)
+	e.Outcomes = append(e.Outcomes, ArmOutcome{
+		Arm: arm, FreqGHz: e.Freqs[arm], Satisfied: ok,
+		AreaUm2: res.AreaUm2, WNSPs: res.WNSPs, Runtime: res.RuntimeProxy,
+	})
+	if !ok {
+		return 0
+	}
+	if e.FreqWeighted {
+		max := e.Freqs[0]
+		for _, f := range e.Freqs {
+			if f > max {
+				max = f
+			}
+		}
+		return e.Freqs[arm] / max
+	}
+	return 1
+}
+
+// OptimalMean implements mab.Environment. Before Calibrate it returns 1
+// (an upper bound), so regret numbers are pessimistic but comparable
+// across algorithms.
+func (e *FreqArms) OptimalMean() float64 {
+	if e.estOptimal > 0 {
+		return e.estOptimal
+	}
+	return 1
+}
+
+// Calibrate estimates per-arm expected rewards with `seeds` probe runs
+// per arm and records the best mean for regret accounting. Expensive:
+// runs len(Freqs)*seeds flows.
+func (e *FreqArms) Calibrate(seeds int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, len(e.Freqs))
+	for arm := range e.Freqs {
+		var sum float64
+		for s := 0; s < seeds; s++ {
+			sum += e.Reward(arm, rng)
+		}
+		means[arm] = sum / float64(seeds)
+		if means[arm] > e.estOptimal {
+			e.estOptimal = means[arm]
+		}
+	}
+	return means
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/flow"
+	"repro/internal/logfile"
+	"repro/internal/mdp"
+	"repro/internal/netlist"
+)
+
+// PrunedRunner is the Stage-3 flow runner: a doomed-run strategy card
+// supervises the detailed router's DRV series and terminates hopeless
+// runs early, repurposing their remaining schedule (the "predicting
+// doomed runs" example of Sec. 3.3).
+type PrunedRunner struct {
+	Card *mdp.Card
+	// ConsecutiveStops is the termination hysteresis (the paper's
+	// table suggests 3 for a ~4% error rate).
+	ConsecutiveStops int
+}
+
+// PrunedResult is a flow result annotated with the monitor's action.
+type PrunedResult struct {
+	Result *flow.Result
+	// StoppedAt is the router iteration at which the monitor fired
+	// (-1 if the run was allowed to complete).
+	StoppedAt int
+	// SavedRuntime is the simulated runtime avoided by stopping early.
+	SavedRuntime float64
+	// EffectiveRuntime is the run's runtime after the saving.
+	EffectiveRuntime float64
+	// Mistake marks a Type-1 event (stopped a run that would have
+	// succeeded); available because the simulator knows the future.
+	Mistake bool
+}
+
+// Run executes the flow under doomed-run supervision.
+func (p PrunedRunner) Run(design *netlist.Netlist, opts flow.Options) PrunedResult {
+	k := p.ConsecutiveStops
+	if k <= 0 {
+		k = 3
+	}
+	res := flow.Run(design, opts)
+	out := PrunedResult{Result: res, StoppedAt: -1, EffectiveRuntime: res.RuntimeProxy}
+	if p.Card == nil || res.Route == nil {
+		return out
+	}
+	run := logfile.FromDetail(0, design.Name, "live", res.Route)
+	stoppedAt := p.Card.Outcome(run, k)
+	if stoppedAt < 0 {
+		return out
+	}
+	out.StoppedAt = stoppedAt
+	// Runtime the simulator charged for iterations past the stop.
+	for t := stoppedAt + 1; t < len(res.Route.DRVs); t++ {
+		out.SavedRuntime += 1 + float64(res.Route.DRVs[t])/5000
+	}
+	out.EffectiveRuntime = res.RuntimeProxy - out.SavedRuntime
+	out.Mistake = res.Route.Success
+	return out
+}
+
+// PruningStudy quantifies Stage-3 value over a batch of runs: total
+// runtime with and without the monitor, plus the error rates.
+type PruningStudy struct {
+	Runs            int
+	Stopped         int
+	Type1           int
+	RuntimeUnpruned float64
+	RuntimePruned   float64
+	SavedRuntimePct float64
+	DoomedRuns      int
+	DoomedStopped   int
+}
+
+// StudyPruning runs the flow across seeds with and without supervision
+// and accounts the schedule savings.
+func StudyPruning(design *netlist.Netlist, base flow.Options, runner PrunedRunner, seeds int) PruningStudy {
+	var st PruningStudy
+	for s := 0; s < seeds; s++ {
+		opts := base
+		opts.Seed = base.Seed + int64(s)
+		pr := runner.Run(design, opts)
+		st.Runs++
+		st.RuntimeUnpruned += pr.Result.RuntimeProxy
+		st.RuntimePruned += pr.EffectiveRuntime
+		if !pr.Result.Route.Success {
+			st.DoomedRuns++
+			if pr.StoppedAt >= 0 {
+				st.DoomedStopped++
+			}
+		}
+		if pr.StoppedAt >= 0 {
+			st.Stopped++
+			if pr.Mistake {
+				st.Type1++
+			}
+		}
+	}
+	if st.RuntimeUnpruned > 0 {
+		st.SavedRuntimePct = 100 * (st.RuntimeUnpruned - st.RuntimePruned) / st.RuntimeUnpruned
+	}
+	return st
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func TestQAgentLearns(t *testing.T) {
+	design := tiny(20)
+	agent := NewQAgent()
+	// Start well below capability so pushing up is the right policy.
+	stats := agent.Train(design, flow.Options{TargetFreqGHz: 0.4, Seed: 1}, 10, 6, 1)
+	if len(stats) != 10 {
+		t.Fatalf("%d episodes", len(stats))
+	}
+	// Learning signal: mean reward of the last third should beat the
+	// first third (the agent discovers it can raise the target).
+	third := len(stats) / 3
+	var early, late float64
+	for i := 0; i < third; i++ {
+		early += stats[i].MeanReward
+	}
+	for i := len(stats) - third; i < len(stats); i++ {
+		late += stats[i].MeanReward
+	}
+	if late < early {
+		t.Errorf("no learning: early reward %v vs late %v", early/float64(third), late/float64(third))
+	}
+}
+
+func TestQAgentPolicyShape(t *testing.T) {
+	design := tiny(21)
+	agent := NewQAgent()
+	agent.Train(design, flow.Options{TargetFreqGHz: 0.5, Seed: 2}, 12, 6, 2)
+	policy := agent.Policy()
+	if len(policy) != int(numQStates) {
+		t.Fatalf("policy covers %d states", len(policy))
+	}
+	// A big miss should never be answered by pushing the target up
+	// once the agent has trained (it may be untrained if never
+	// visited; only check when the Q row is non-zero).
+	var visited bool
+	for a := qAction(0); a < numQActions; a++ {
+		if agent.Q[qMissBig][a] != 0 {
+			visited = true
+		}
+	}
+	if visited {
+		if act := policy["miss-big"]; act == "up-3%" || act == "up-8%" {
+			t.Errorf("trained agent raises target on big miss: %s", act)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	mk := func(wns float64, routeOK bool, freq float64) *flow.Result {
+		return &flow.Result{
+			WNSPs:   wns,
+			RouteOK: routeOK,
+			Met:     routeOK && wns >= 0,
+			Options: flow.Options{TargetFreqGHz: freq},
+		}
+	}
+	if classify(mk(500, true, 0.5)) != qMetSlack { // period 2000, 25% slack
+		t.Error("slack state wrong")
+	}
+	if classify(mk(10, true, 0.5)) != qMetTight {
+		t.Error("tight state wrong")
+	}
+	if classify(mk(-50, true, 0.5)) != qMissSmall {
+		t.Error("small miss wrong")
+	}
+	if classify(mk(-500, true, 0.5)) != qMissBig {
+		t.Error("big miss wrong")
+	}
+	if classify(mk(100, false, 0.5)) != qRouteFail {
+		t.Error("route fail wrong")
+	}
+}
+
+func TestRewardShape(t *testing.T) {
+	met := &flow.Result{Met: true, Options: flow.Options{TargetFreqGHz: 1.0}}
+	if r := reward(met, 0.5); r != 2.0 {
+		t.Errorf("met reward %v", r)
+	}
+	fail := &flow.Result{Met: false, Options: flow.Options{TargetFreqGHz: 1.0}}
+	if r := reward(fail, 0.5); r >= 0 {
+		t.Errorf("failure reward %v should be negative", r)
+	}
+}

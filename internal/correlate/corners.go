@@ -1,0 +1,131 @@
+package correlate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// CornerModel predicts per-endpoint slack at a corner that was not
+// analyzed, from the endpoints' slacks at analyzed corners plus path
+// features — the paper's [20] near-term extension (2): "prediction of
+// timing at 'missing corners' that are not analyzed, based on STA
+// reports for corners that are analyzed."
+type CornerModel struct {
+	Analyzed []sta.Corner
+	Missing  sta.Corner
+	Engine   sta.Config // base engine settings (corner field is overridden)
+
+	reg    *ml.Ridge
+	scaler *ml.Scaler
+	// TrainMAE is the residual on the training endpoints, ps.
+	TrainMAE float64
+}
+
+// cornerFeatures builds the model input for one endpoint index from the
+// analyzed-corner reports.
+func cornerFeatures(reports []*sta.Report, i int) []float64 {
+	f := []float64{}
+	for _, rep := range reports {
+		ep := rep.Endpoints[i]
+		f = append(f, ep.SlackPs, ep.Arrival)
+	}
+	// Path structure from the first analyzed corner.
+	ep := reports[0].Endpoints[i]
+	f = append(f, float64(ep.Depth), ep.WirePs, ep.SlewPs, ep.FanoutLd)
+	return f
+}
+
+// TrainCorners fits the missing-corner model over training designs.
+func TrainCorners(designs []*netlist.Netlist, engine sta.Config, analyzed []sta.Corner, missing sta.Corner) (*CornerModel, error) {
+	if len(analyzed) == 0 {
+		return nil, fmt.Errorf("correlate: no analyzed corners")
+	}
+	var x [][]float64
+	var y []float64
+	for _, n := range designs {
+		reports := make([]*sta.Report, len(analyzed))
+		for ci, c := range analyzed {
+			cfg := engine
+			cfg.Corner = c
+			reports[ci] = sta.Analyze(n, cfg)
+		}
+		cfg := engine
+		cfg.Corner = missing
+		truth := sta.Analyze(n, cfg)
+		for ci := range reports {
+			if len(reports[ci].Endpoints) != len(truth.Endpoints) {
+				return nil, fmt.Errorf("correlate: endpoint mismatch on %s", n.Name)
+			}
+		}
+		for i := range truth.Endpoints {
+			x = append(x, cornerFeatures(reports, i))
+			y = append(y, truth.Endpoints[i].SlackPs)
+		}
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("correlate: no endpoints")
+	}
+	scaler := ml.FitScaler(x)
+	reg, err := ml.FitRidge(scaler.Transform(x), y, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	m := &CornerModel{Analyzed: analyzed, Missing: missing, Engine: engine, reg: reg, scaler: scaler}
+	m.TrainMAE = ml.MAE(reg.PredictAll(scaler.Transform(x)), y)
+	return m, nil
+}
+
+// CornerEvaluation compares the ML prediction of the missing corner
+// against actually analyzing it, and against the naive baseline of
+// scaling the worst analyzed corner.
+type CornerEvaluation struct {
+	Endpoints     int
+	ModelMAEPs    float64 // |predicted - true| at the missing corner
+	BaselineMAEPs float64 // |worst analyzed slack - true|
+	// CostSavedUnits is the analysis cost avoided by not running the
+	// missing corner.
+	CostSavedUnits float64
+}
+
+// Evaluate applies the model to a held-out design.
+func (m *CornerModel) Evaluate(n *netlist.Netlist) (CornerEvaluation, error) {
+	var ev CornerEvaluation
+	reports := make([]*sta.Report, len(m.Analyzed))
+	for ci, c := range m.Analyzed {
+		cfg := m.Engine
+		cfg.Corner = c
+		reports[ci] = sta.Analyze(n, cfg)
+	}
+	cfg := m.Engine
+	cfg.Corner = m.Missing
+	truth := sta.Analyze(n, cfg)
+	ev.CostSavedUnits = truth.CostUnits
+	for ci := range reports {
+		if len(reports[ci].Endpoints) != len(truth.Endpoints) {
+			return ev, fmt.Errorf("correlate: endpoint mismatch on %s", n.Name)
+		}
+	}
+	ev.Endpoints = len(truth.Endpoints)
+	var modelAbs, baseAbs float64
+	for i := range truth.Endpoints {
+		tr := truth.Endpoints[i].SlackPs
+		pred := m.reg.Predict(m.scaler.Transform([][]float64{cornerFeatures(reports, i)})[0])
+		modelAbs += math.Abs(pred - tr)
+		worst := math.Inf(1)
+		for _, rep := range reports {
+			if s := rep.Endpoints[i].SlackPs; s < worst {
+				worst = s
+			}
+		}
+		baseAbs += math.Abs(worst - tr)
+	}
+	if ev.Endpoints > 0 {
+		ev.ModelMAEPs = modelAbs / float64(ev.Endpoints)
+		ev.BaselineMAEPs = baseAbs / float64(ev.Endpoints)
+	}
+	return ev, nil
+}

@@ -1,0 +1,64 @@
+package correlate
+
+import (
+	"testing"
+
+	"repro/internal/sta"
+)
+
+func TestMissingCornerPrediction(t *testing.T) {
+	train := designs(4, 200)
+	test := designs(1, 222)[0]
+	engine := sta.Config{Engine: sta.Signoff}
+	analyzed := []sta.Corner{sta.CornerTT, sta.CornerSS, sta.CornerFF}
+	m, err := TrainCorners(train, engine, analyzed, sta.CornerSSCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Endpoints == 0 {
+		t.Fatal("no endpoints evaluated")
+	}
+	if ev.ModelMAEPs >= ev.BaselineMAEPs {
+		t.Errorf("missing-corner model MAE %v not below worst-corner baseline %v",
+			ev.ModelMAEPs, ev.BaselineMAEPs)
+	}
+	if ev.ModelMAEPs > 20 {
+		t.Errorf("missing-corner MAE %v ps too large to be useful", ev.ModelMAEPs)
+	}
+	if ev.CostSavedUnits <= 0 {
+		t.Error("skipping a corner must save analysis cost")
+	}
+}
+
+func TestTrainCornersErrors(t *testing.T) {
+	engine := sta.Config{Engine: sta.Signoff}
+	if _, err := TrainCorners(nil, engine, []sta.Corner{sta.CornerTT}, sta.CornerSS); err == nil {
+		t.Error("no designs should error")
+	}
+	if _, err := TrainCorners(designs(1, 1), engine, nil, sta.CornerSS); err == nil {
+		t.Error("no analyzed corners should error")
+	}
+}
+
+func TestFewerAnalyzedCornersWorse(t *testing.T) {
+	// With only TT analyzed, the model has less signal than with
+	// TT+SS+FF; training MAE should not improve when corners are
+	// dropped.
+	train := designs(4, 300)
+	engine := sta.Config{Engine: sta.Signoff}
+	rich, err := TrainCorners(train, engine, []sta.Corner{sta.CornerTT, sta.CornerSS, sta.CornerFF}, sta.CornerSSCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := TrainCorners(train, engine, []sta.Corner{sta.CornerTT}, sta.CornerSSCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.TrainMAE > poor.TrainMAE+1e-9 {
+		t.Errorf("more corners should not hurt: rich %v vs poor %v", rich.TrainMAE, poor.TrainMAE)
+	}
+}

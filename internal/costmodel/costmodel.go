@@ -1,0 +1,187 @@
+// Package costmodel implements an ITRS-style design cost model (the
+// paper's refs [31][39][41], Sec. 1-2): transistor scaling, design
+// productivity with and without design-technology (DT) innovations, and
+// the resulting SOC design cost trajectories of Fig. 2 — including the
+// footnote-1 counterfactuals (absent post-2013 DT innovation, SOC-CP
+// design cost grows from $45.4M in 2013 toward $3.4B in 2028). It also
+// models the Design Capability Gap of Fig. 1: available versus realized
+// transistor-density scaling.
+package costmodel
+
+import "math"
+
+// Innovation is one design-technology advance with its calibrated
+// productivity multiplier, after the ITRS Design Cost Model's structure.
+type Innovation struct {
+	Name   string
+	Year   int
+	Factor float64 // multiplicative productivity improvement
+}
+
+// DefaultInnovations returns a representative DT-innovation timeline in
+// the spirit of the ITRS model (RTL methodology, silicon virtual
+// prototype, ES-level automation, ...). Factors are calibrated so the
+// with-innovation trajectory holds SOC-CP design cost in the
+// tens-of-$M band while the no-innovation counterfactuals reproduce the
+// paper's footnote-1 figures.
+func DefaultInnovations() []Innovation {
+	return []Innovation{
+		{"In-house P&R", 1993, 1.5},
+		{"Engineer-level RTL methodology", 1995, 1.6},
+		{"Small-block reuse", 1997, 1.55},
+		{"Large-block reuse", 1999, 1.6},
+		{"IC implementation suite", 2001, 1.65},
+		{"Intelligent testbench", 2003, 1.6},
+		{"ES-level methodology", 2005, 1.6},
+		{"Silicon virtual prototype", 2007, 1.55},
+		{"Very-large-block reuse", 2009, 1.6},
+		{"Concurrent software compiler", 2011, 1.55},
+		{"Chip-package-system co-design", 2013, 1.6},
+		{"ML-assisted implementation", 2015, 1.6},
+		{"Flow-adaptive tool orchestration", 2017, 1.6},
+		{"Robot design engineers", 2019, 1.65},
+		{"Single-pass design", 2021, 1.6},
+		{"No-human-in-the-loop flows", 2023, 1.65},
+		{"Shared ML model ecosystem", 2025, 1.6},
+		{"Self-improving design platform", 2027, 1.6},
+	}
+}
+
+// Params holds the model's calibration.
+type Params struct {
+	BaseYear        int     // calibration anchor (2013)
+	BaseTransistors float64 // SOC-CP transistors at BaseYear
+	DoublingYears   float64 // transistor-count doubling period
+	// BaseProductivity is transistors per engineer-year at BaseYear
+	// with all innovations up to BaseYear applied.
+	BaseProductivity float64
+	// NaturalGrowth is the innovation-independent annual productivity
+	// improvement (tool speedups, experience).
+	NaturalGrowth float64
+	// EngineerCostUSD is the loaded annual cost of one engineer
+	// (salary, licenses, servers) at BaseYear.
+	EngineerCostUSD float64
+	// VerifShareBase/VerifShareSlope model verification's growing
+	// share of total effort.
+	VerifShareBase  float64
+	VerifShareSlope float64 // per year
+}
+
+// Default returns the calibrated parameters.
+func Default() Params {
+	return Params{
+		BaseYear:         2013,
+		BaseTransistors:  5e8,
+		DoublingYears:    2,
+		BaseProductivity: 4.1e6,
+		NaturalGrowth:    0.06,
+		EngineerCostUSD:  360_000,
+		VerifShareBase:   0.45, // at BaseYear
+		VerifShareSlope:  0.01,
+	}
+}
+
+// Transistors returns the SOC-CP transistor count in a given year.
+func (p Params) Transistors(year int) float64 {
+	return p.BaseTransistors * math.Pow(2, float64(year-p.BaseYear)/p.DoublingYears)
+}
+
+// Productivity returns transistors per engineer-year in `year`, applying
+// only innovations introduced in or before cutoffYear. The calibration
+// anchors productivity at BaseYear with all innovations <= BaseYear.
+func (p Params) Productivity(year int, innovations []Innovation, cutoffYear int) float64 {
+	// Innovation factor relative to the BaseYear stack.
+	factor := 1.0
+	for _, in := range innovations {
+		applied := in.Year <= year && in.Year <= cutoffYear
+		baseline := in.Year <= p.BaseYear
+		if applied && !baseline {
+			factor *= in.Factor
+		}
+		if !applied && baseline {
+			factor /= in.Factor
+		}
+	}
+	natural := math.Pow(1+p.NaturalGrowth, float64(year-p.BaseYear))
+	return p.BaseProductivity * factor * natural
+}
+
+// YearPoint is one row of the Fig. 2 projection.
+type YearPoint struct {
+	Year              int
+	Transistors       float64
+	EngineerYears     float64
+	DesignCostUSD     float64
+	VerifCostUSD      float64
+	TotalCostUSD      float64
+	VerifShare        float64
+	ProductivityTrEY  float64
+	InnovationApplied int // innovations in effect
+}
+
+// Project computes the cost trajectory from->to, applying innovations up
+// to cutoffYear only (use a large cutoff for "all innovations on time";
+// use 2000 or 2013 for the paper's counterfactuals).
+func Project(p Params, innovations []Innovation, from, to, cutoffYear int) []YearPoint {
+	var out []YearPoint
+	for year := from; year <= to; year++ {
+		prod := p.Productivity(year, innovations, cutoffYear)
+		tr := p.Transistors(year)
+		ey := tr / prod
+		design := ey * p.EngineerCostUSD
+		share := p.VerifShareBase + p.VerifShareSlope*float64(year-p.BaseYear)
+		share = math.Max(0.2, math.Min(0.7, share))
+		applied := 0
+		for _, in := range innovations {
+			if in.Year <= year && in.Year <= cutoffYear {
+				applied++
+			}
+		}
+		out = append(out, YearPoint{
+			Year:              year,
+			Transistors:       tr,
+			EngineerYears:     ey,
+			DesignCostUSD:     design,
+			VerifCostUSD:      design * share / (1 - share),
+			TotalCostUSD:      design / (1 - share),
+			VerifShare:        share,
+			ProductivityTrEY:  prod,
+			InnovationApplied: applied,
+		})
+	}
+	return out
+}
+
+// DensityPoint is one row of the Fig. 1 capability-gap series.
+type DensityPoint struct {
+	Year        int
+	AvailableMT float64 // available Mtransistors/mm^2 from litho scaling
+	RealizedMT  float64 // realized density after A-factor and uncore derating
+	GapFactor   float64 // available / realized
+}
+
+// CapabilityGap models Fig. 1: available density doubles per node
+// (~2 years), while realized density increasingly lags due to a
+// non-ideal area factor (larger cells and wires for reliability/
+// variability) and growing uncore content. Before gapStartYear the two
+// track each other.
+func CapabilityGap(from, to int) []DensityPoint {
+	const gapStartYear = 2000
+	var out []DensityPoint
+	for year := from; year <= to; year++ {
+		avail := 0.1 * math.Pow(2, float64(year-1995)/2) // MTr/mm^2
+		derate := 1.0
+		if year > gapStartYear {
+			// Compounding ~7%/year realized-scaling shortfall.
+			derate = math.Pow(1.07, float64(year-gapStartYear))
+		}
+		realized := avail / derate
+		out = append(out, DensityPoint{
+			Year:        year,
+			AvailableMT: avail,
+			RealizedMT:  realized,
+			GapFactor:   avail / realized,
+		})
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransistorScaling(t *testing.T) {
+	p := Default()
+	if got := p.Transistors(p.BaseYear); got != p.BaseTransistors {
+		t.Fatalf("base year transistors %v", got)
+	}
+	if got := p.Transistors(p.BaseYear + int(p.DoublingYears)); math.Abs(got/p.BaseTransistors-2) > 1e-9 {
+		t.Fatalf("doubling failed: %v", got/p.BaseTransistors)
+	}
+}
+
+func TestFootnote1Calibration(t *testing.T) {
+	// Paper footnote 1: with innovations through 2013, SOC-CP design
+	// cost 2013 = $45.4M; absent post-2013 innovation it grows to
+	// ~$3.4B by 2028.
+	p := Default()
+	inn := DefaultInnovations()
+	pts := Project(p, inn, 2013, 2028, 2013)
+	cost2013 := pts[0].DesignCostUSD
+	cost2028 := pts[len(pts)-1].DesignCostUSD
+	if cost2013 < 30e6 || cost2013 > 60e6 {
+		t.Errorf("2013 design cost $%.1fM, want ~$45M", cost2013/1e6)
+	}
+	if cost2028 < 1.5e9 || cost2028 > 6e9 {
+		t.Errorf("2028 no-post-2013-DT cost $%.2fB, want ~$3.4B", cost2028/1e9)
+	}
+}
+
+func TestPost2000Counterfactual(t *testing.T) {
+	// Footnote 1: absent post-2000 DT innovations, 2013 cost ~$1B and
+	// 2028 ~$70B.
+	p := Default()
+	inn := DefaultInnovations()
+	pts := Project(p, inn, 2013, 2028, 2000)
+	cost2013 := pts[0].DesignCostUSD
+	cost2028 := pts[len(pts)-1].DesignCostUSD
+	if cost2013 < 0.4e9 || cost2013 > 2.5e9 {
+		t.Errorf("2013 no-post-2000-DT cost $%.2fB, want ~$1B", cost2013/1e9)
+	}
+	if cost2028 < 25e9 || cost2028 > 200e9 {
+		t.Errorf("2028 no-post-2000-DT cost $%.0fB, want ~$70B", cost2028/1e9)
+	}
+}
+
+func TestInnovationsKeepCostBounded(t *testing.T) {
+	// With innovations delivered on time, design cost stays within the
+	// "several tens of $M" ceiling across the horizon (the in-built
+	// optimism of the ITRS model).
+	p := Default()
+	inn := DefaultInnovations()
+	pts := Project(p, inn, 2013, 2028, 3000)
+	for _, pt := range pts {
+		if pt.DesignCostUSD > 120e6 {
+			t.Errorf("year %d: cost $%.0fM exceeds ceiling", pt.Year, pt.DesignCostUSD/1e6)
+		}
+	}
+}
+
+func TestInnovationGapDominates(t *testing.T) {
+	// The spread between with- and without-innovation trajectories
+	// must widen over time (the Fig. 2 divergence).
+	p := Default()
+	inn := DefaultInnovations()
+	with := Project(p, inn, 2014, 2028, 3000)
+	without := Project(p, inn, 2014, 2028, 2013)
+	prevRatio := 0.0
+	for i := range with {
+		ratio := without[i].DesignCostUSD / with[i].DesignCostUSD
+		if ratio < prevRatio*(1-1e-12) {
+			t.Fatalf("cost ratio shrank at %d: %v -> %v", with[i].Year, prevRatio, ratio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 10 {
+		t.Errorf("final cost ratio %v, want >10x", prevRatio)
+	}
+}
+
+func TestVerificationShareGrows(t *testing.T) {
+	p := Default()
+	pts := Project(p, DefaultInnovations(), 1995, 2025, 3000)
+	first, last := pts[0], pts[len(pts)-1]
+	if last.VerifShare <= first.VerifShare {
+		t.Errorf("verification share should grow: %v -> %v", first.VerifShare, last.VerifShare)
+	}
+	for _, pt := range pts {
+		if pt.VerifShare < 0.2 || pt.VerifShare > 0.7 {
+			t.Errorf("year %d verif share %v outside clamp", pt.Year, pt.VerifShare)
+		}
+		if pt.TotalCostUSD < pt.DesignCostUSD {
+			t.Errorf("total cost below design cost at %d", pt.Year)
+		}
+	}
+}
+
+func TestCapabilityGapShape(t *testing.T) {
+	pts := CapabilityGap(1995, 2015)
+	if len(pts) != 21 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.RealizedMT > pt.AvailableMT {
+			t.Errorf("year %d: realized above available", pt.Year)
+		}
+		if pt.Year <= 2000 && pt.GapFactor != 1 {
+			t.Errorf("year %d: gap %v before divergence era", pt.Year, pt.GapFactor)
+		}
+		if i > 0 && pt.GapFactor < pts[i-1].GapFactor {
+			t.Errorf("gap must widen monotonically (year %d)", pt.Year)
+		}
+		if i > 0 && pt.AvailableMT <= pts[i-1].AvailableMT {
+			t.Errorf("available density must grow (year %d)", pt.Year)
+		}
+	}
+	if final := pts[len(pts)-1].GapFactor; final < 2 {
+		t.Errorf("2015 gap factor %v, want > 2x", final)
+	}
+}
+
+func TestProductivityAnchored(t *testing.T) {
+	p := Default()
+	inn := DefaultInnovations()
+	if got := p.Productivity(p.BaseYear, inn, p.BaseYear); math.Abs(got-p.BaseProductivity) > 1e-6*p.BaseProductivity {
+		t.Errorf("base-year productivity %v, want %v", got, p.BaseProductivity)
+	}
+	// Removing pre-base innovations lowers productivity.
+	if got := p.Productivity(p.BaseYear, inn, 2000); got >= p.BaseProductivity {
+		t.Errorf("cutoff-2000 productivity %v should be below base %v", got, p.BaseProductivity)
+	}
+}

@@ -1,0 +1,118 @@
+package cts
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func placed(seed int64) *netlist.Netlist {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+	place.Place(n, place.Options{Seed: seed, Moves: 5000})
+	return n
+}
+
+func TestSynthesizeBasics(t *testing.T) {
+	n := placed(1)
+	r := Synthesize(n, Options{Seed: 1})
+	if r.Buffers == 0 {
+		t.Fatal("no buffers inserted")
+	}
+	if r.LatencyPs <= 0 {
+		t.Fatalf("latency %v", r.LatencyPs)
+	}
+	if r.WirelengthUm <= 0 || r.AreaUm2 <= 0 || r.PowerNW <= 0 {
+		t.Fatalf("missing accounting: %+v", r)
+	}
+	if len(r.SkewPs) != n.NumCells() {
+		t.Fatalf("skew vector sized %d, want %d", len(r.SkewPs), n.NumCells())
+	}
+}
+
+func TestSkewZeroMeanOverSinks(t *testing.T) {
+	n := placed(2)
+	r := Synthesize(n, Options{Seed: 1})
+	var sum float64
+	count := 0
+	for _, ff := range n.Sequential() {
+		sum += r.SkewPs[ff]
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no sinks")
+	}
+	if mean := sum / float64(count); math.Abs(mean) > 1e-9 {
+		t.Errorf("skew mean over sinks = %v, want 0", mean)
+	}
+	for i := range n.Insts {
+		if !n.Insts[i].Cell.Class.Sequential() && r.SkewPs[i] != 0 {
+			t.Errorf("non-sink inst %d has skew %v", i, r.SkewPs[i])
+		}
+	}
+}
+
+func TestMaxSkewConsistent(t *testing.T) {
+	n := placed(3)
+	r := Synthesize(n, Options{Seed: 1})
+	var worst float64
+	for _, s := range r.SkewPs {
+		worst = math.Max(worst, math.Abs(s))
+	}
+	if math.Abs(worst-r.MaxSkewPs) > 1e-9 {
+		t.Errorf("MaxSkewPs %v != observed %v", r.MaxSkewPs, worst)
+	}
+}
+
+func TestFanoutLimitControlsBuffers(t *testing.T) {
+	n := placed(4)
+	small := Synthesize(n, Options{Seed: 1, FanoutLimit: 2})
+	large := Synthesize(n, Options{Seed: 1, FanoutLimit: 64})
+	if small.Buffers <= large.Buffers {
+		t.Errorf("tighter fanout limit should need more buffers: %d vs %d", small.Buffers, large.Buffers)
+	}
+	if small.TreeLevels <= large.TreeLevels {
+		t.Errorf("tighter fanout limit should deepen tree: %d vs %d", small.TreeLevels, large.TreeLevels)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	// Enough sinks that the tree splits (jitter applies only at
+	// internal buffers).
+	n := netlist.Generate(cellib.Default14nm(), netlist.Spec{
+		Name: "ffheavy", Seed: 5, NumComb: 120, NumFFs: 48,
+		Levels: 5, Locality: 0.6, NumPIs: 6, ClockPeriodPs: 1200,
+	})
+	place.Place(n, place.Options{Seed: 5, Moves: 5000})
+	a := Synthesize(n, Options{Seed: 9})
+	b := Synthesize(n, Options{Seed: 9})
+	if a.LatencyPs != b.LatencyPs || a.MaxSkewPs != b.MaxSkewPs {
+		t.Fatal("same seed differs")
+	}
+	c := Synthesize(n, Options{Seed: 10})
+	if a.LatencyPs == c.LatencyPs && a.MaxSkewPs == c.MaxSkewPs {
+		t.Error("jittered CTS should vary with seed")
+	}
+}
+
+func TestNoSinksNoTree(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := &netlist.Netlist{Name: "comb", Lib: lib, ClockNet: -1}
+	n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	r := Synthesize(n, Options{Seed: 1})
+	if r.Buffers != 0 || r.LatencyPs != 0 {
+		t.Fatalf("combinational design grew a clock tree: %+v", r)
+	}
+}
+
+func TestSkewFeedsSTA(t *testing.T) {
+	n := placed(6)
+	r := Synthesize(n, Options{Seed: 1})
+	// Must be accepted by the STA config without panics and change
+	// nothing structurally.
+	if len(r.SkewPs) != n.NumCells() {
+		t.Fatal("skew vector length mismatch")
+	}
+}

@@ -1,0 +1,95 @@
+package drcfix
+
+import "testing"
+
+func TestNewFieldSeedsViolations(t *testing.T) {
+	f := NewField(50, 12, 1)
+	if f.Count() != 50 {
+		t.Fatalf("seeded %d violations", f.Count())
+	}
+	for _, v := range f.Violations {
+		if v.X < 0 || v.X >= 12 || v.Y < 0 || v.Y >= 12 {
+			t.Fatalf("violation off grid: %+v", v)
+		}
+	}
+}
+
+func TestTryFixBehaviour(t *testing.T) {
+	f := NewField(30, 12, 2)
+	var anyFixed, anyFailed bool
+	ids := make([]int, 0, len(f.Violations))
+	for id := range f.Violations {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, ok := f.Violations[id]; !ok {
+			continue // removed by an earlier spawn/fix interplay
+		}
+		fixed, spawned := f.TryFix(id)
+		if fixed {
+			anyFixed = true
+			if _, still := f.Violations[id]; still {
+				t.Fatal("fixed violation still present")
+			}
+			if spawned < 0 || spawned > 1 {
+				t.Fatalf("spawned %d", spawned)
+			}
+		} else {
+			anyFailed = true
+			if f.Violations[id].Attempts == 0 {
+				t.Fatal("failed fix did not count attempt")
+			}
+		}
+	}
+	if !anyFixed || !anyFailed {
+		t.Skipf("degenerate randomness (fixed=%t failed=%t)", anyFixed, anyFailed)
+	}
+	if _, ok := f.Violations[99999]; ok {
+		t.Fatal("phantom id")
+	}
+	if fixed, _ := f.TryFix(99999); fixed {
+		t.Fatal("fixing a nonexistent violation succeeded")
+	}
+}
+
+func TestRobotCleansField(t *testing.T) {
+	f := NewField(60, 12, 3)
+	res := RunRobot(f, 2000)
+	if !res.Cleaned {
+		t.Fatalf("robot left %d violations after %d attempts", res.FinalCount, res.Attempts)
+	}
+	if res.Attempts < res.StartCount {
+		t.Fatal("cannot clean faster than one attempt per violation")
+	}
+}
+
+func TestRobotBeatsNaiveOnAverage(t *testing.T) {
+	var robot, naive int
+	const trials = 12
+	for seed := int64(0); seed < trials; seed++ {
+		fr := NewField(60, 12, seed)
+		robot += RunRobot(fr, 5000).Attempts
+		fn := NewField(60, 12, seed)
+		naive += RunNaive(fn, 5000).Attempts
+	}
+	if robot >= naive {
+		t.Errorf("robot mean attempts %d not below naive %d", robot/trials, naive/trials)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	f := NewField(100, 12, 4)
+	res := RunRobot(f, 10)
+	if res.Attempts > 10 {
+		t.Fatalf("budget exceeded: %d", res.Attempts)
+	}
+	if res.Cleaned {
+		t.Fatal("cannot clean 100 violations in 10 attempts")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Spacing.String() != "spacing" || ViaEnclosure.String() != "via" || Width.String() != "width" {
+		t.Error("kind names wrong")
+	}
+}

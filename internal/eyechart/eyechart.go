@@ -1,0 +1,198 @@
+// Package eyechart constructs synthetic gate-sizing benchmarks with
+// known optimal solutions — the "eye charts" of the paper's Sec. 3.3
+// (refs [11][23]). Because the optimum is computed exhaustively, the
+// benchmarks characterize how far a sizing heuristic lands from optimal,
+// exactly the "constructive benchmarking of gate sizing heuristics"
+// use-case.
+package eyechart
+
+import (
+	"math"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// Chart is a generated benchmark plus its known optimum.
+type Chart struct {
+	Netlist *netlist.Netlist
+	// Stages holds the instance IDs of the sizable chain, in order.
+	Stages []int
+	// TargetPs is the delay constraint (the netlist's clock period).
+	TargetPs float64
+	// OptimalAreaUm2 is the minimum chain area that meets TargetPs
+	// (exhaustively verified); +Inf if the target is infeasible.
+	OptimalAreaUm2 float64
+	// OptimalDrives lists the optimal drive strengths per stage.
+	OptimalDrives []int
+	// MinDelayPs is the best achievable delay over all sizings.
+	MinDelayPs float64
+}
+
+// Chain builds an inverter-chain eye chart: `stages` inverters between a
+// primary input and an external load of loadFF, with delay target
+// targetPs. The optimum over all drive assignments is found by
+// exhaustive enumeration (the construction keeps stages small enough for
+// that to be exact).
+func Chain(lib *cellib.Library, stages int, loadFF, targetPs float64) *Chart {
+	if stages < 1 {
+		stages = 1
+	}
+	if stages > 8 {
+		stages = 8 // keep exhaustive search exact and fast
+	}
+	n := &netlist.Netlist{Name: "eyechart-chain", Lib: lib, ClockNet: -1, ClockPeriodPs: targetPs}
+	ch := &Chart{Netlist: n, TargetPs: targetPs}
+
+	inv := lib.Smallest(cellib.Inverter)
+	in := n.AddNet(-1, "in")
+	prev := in
+	for i := 0; i < stages; i++ {
+		id := n.AddInstance(inv, "")
+		ch.Stages = append(ch.Stages, id)
+		n.Connect(prev, id, 0)
+		prev = n.AddNet(id, "")
+	}
+	n.Nets[prev].ExternalCap = loadFF
+	if err := n.Relevel(); err != nil {
+		panic(err) // a chain cannot be cyclic
+	}
+	// Collapse placement so wire delay is negligible and the optimum
+	// depends only on cell choice.
+	for i := range n.Insts {
+		n.Insts[i].X, n.Insts[i].Y = 0, 0
+	}
+
+	ch.solve()
+	return ch
+}
+
+// solve exhaustively enumerates drive assignments to find the minimum
+// area meeting the target and the minimum achievable delay.
+func (ch *Chart) solve() {
+	lib := ch.Netlist.Lib
+	variants := lib.Variants(cellib.Inverter)
+	k := len(ch.Stages)
+	assign := make([]int, k)
+	bestArea := math.Inf(1)
+	minDelay := math.Inf(1)
+	var bestDrives []int
+
+	var rec func(stage int)
+	rec = func(stage int) {
+		if stage == k {
+			d := ch.delayOf(assign, variants)
+			if d < minDelay {
+				minDelay = d
+			}
+			if d <= ch.TargetPs {
+				var area float64
+				for _, vi := range assign {
+					area += variants[vi].Area
+				}
+				if area < bestArea {
+					bestArea = area
+					bestDrives = make([]int, k)
+					for i, vi := range assign {
+						bestDrives[i] = variants[vi].Drive
+					}
+				}
+			}
+			return
+		}
+		for vi := range variants {
+			assign[stage] = vi
+			rec(stage + 1)
+		}
+	}
+	rec(0)
+	ch.OptimalAreaUm2 = bestArea
+	ch.OptimalDrives = bestDrives
+	ch.MinDelayPs = minDelay
+}
+
+// delayOf computes the chain delay for a variant assignment without
+// mutating the netlist: stage i drives stage i+1's input cap, the last
+// stage drives the external load.
+func (ch *Chart) delayOf(assign []int, variants []cellib.Cell) float64 {
+	var d float64
+	for i := range assign {
+		cell := variants[assign[i]]
+		var load float64
+		if i+1 < len(assign) {
+			load = variants[assign[i+1]].InputCap
+		} else {
+			load = ch.Netlist.Nets[ch.Netlist.FanoutNet[ch.Stages[len(ch.Stages)-1]]].ExternalCap
+		}
+		d += cell.Delay(load)
+	}
+	return d
+}
+
+// Apply writes drive strengths onto the chain.
+func (ch *Chart) Apply(drives []int) {
+	variants := ch.Netlist.Lib.Variants(cellib.Inverter)
+	byDrive := map[int]cellib.Cell{}
+	for _, v := range variants {
+		byDrive[v.Drive] = v
+	}
+	for i, id := range ch.Stages {
+		if i < len(drives) {
+			if c, ok := byDrive[drives[i]]; ok {
+				ch.Netlist.Insts[id].Cell = c
+			}
+		}
+	}
+}
+
+// CurrentDelayPs measures the chain delay of the current sizing using
+// the same closed-form model as the optimum.
+func (ch *Chart) CurrentDelayPs() float64 {
+	variants := ch.Netlist.Lib.Variants(cellib.Inverter)
+	idxOf := map[int]int{}
+	for i, v := range variants {
+		idxOf[v.Drive] = i
+	}
+	assign := make([]int, len(ch.Stages))
+	for i, id := range ch.Stages {
+		assign[i] = idxOf[ch.Netlist.Insts[id].Cell.Drive]
+	}
+	return ch.delayOf(assign, variants)
+}
+
+// CurrentAreaUm2 returns the chain's current area.
+func (ch *Chart) CurrentAreaUm2() float64 {
+	var a float64
+	for _, id := range ch.Stages {
+		a += ch.Netlist.Insts[id].Cell.Area
+	}
+	return a
+}
+
+// Score evaluates a sizing heuristic's result against the known optimum:
+// the area ratio (>= 1; 1.0 is optimal) if timing is met, or +Inf if the
+// heuristic missed timing on a feasible chart.
+func (ch *Chart) Score() float64 {
+	if math.IsInf(ch.OptimalAreaUm2, 1) {
+		return 1 // infeasible chart: nothing to compare
+	}
+	if ch.CurrentDelayPs() > ch.TargetPs*1.0000001 {
+		return math.Inf(1)
+	}
+	return ch.CurrentAreaUm2() / ch.OptimalAreaUm2
+}
+
+// STAConsistent verifies the closed-form chain delay against the timing
+// engine (used by tests and the self-check benches): returns the STA
+// arrival of the loaded endpoint.
+func (ch *Chart) STAConsistent() float64 {
+	rep := sta.Analyze(ch.Netlist, sta.Config{Engine: sta.Fast})
+	worst := 0.0
+	for _, ep := range rep.Endpoints {
+		if ep.Arrival > worst {
+			worst = ep.Arrival
+		}
+	}
+	return worst
+}

@@ -1,0 +1,121 @@
+package eyechart
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellib"
+)
+
+func TestChainStructure(t *testing.T) {
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 5, 30, 200)
+	if len(ch.Stages) != 5 {
+		t.Fatalf("stages %d", len(ch.Stages))
+	}
+	if err := ch.Netlist.Validate(); err != nil {
+		t.Fatalf("chain netlist invalid: %v", err)
+	}
+}
+
+func TestOptimalMeetsTarget(t *testing.T) {
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 5, 30, 150)
+	if math.IsInf(ch.OptimalAreaUm2, 1) {
+		t.Skip("infeasible target")
+	}
+	ch.Apply(ch.OptimalDrives)
+	if d := ch.CurrentDelayPs(); d > ch.TargetPs {
+		t.Errorf("optimal sizing misses target: %v > %v", d, ch.TargetPs)
+	}
+	if a := ch.CurrentAreaUm2(); math.Abs(a-ch.OptimalAreaUm2) > 1e-9 {
+		t.Errorf("applied optimal area %v != %v", a, ch.OptimalAreaUm2)
+	}
+	if s := ch.Score(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("optimal score %v, want 1", s)
+	}
+}
+
+func TestOptimalIsMinimal(t *testing.T) {
+	// No feasible assignment may have smaller area: spot-check by
+	// trying to downsize each optimal stage by one step.
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 4, 40, 140)
+	if math.IsInf(ch.OptimalAreaUm2, 1) {
+		t.Skip("infeasible target")
+	}
+	drives := append([]int(nil), ch.OptimalDrives...)
+	for i := range drives {
+		if drives[i] == 1 {
+			continue
+		}
+		smaller := append([]int(nil), drives...)
+		smaller[i] = drives[i] / 2
+		ch.Apply(smaller)
+		if ch.CurrentDelayPs() <= ch.TargetPs && ch.CurrentAreaUm2() < ch.OptimalAreaUm2 {
+			t.Fatalf("found smaller feasible sizing than 'optimal' at stage %d", i)
+		}
+	}
+}
+
+func TestInfeasibleTarget(t *testing.T) {
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 6, 50, 1) // 1 ps is impossible
+	if !math.IsInf(ch.OptimalAreaUm2, 1) {
+		t.Errorf("1 ps target should be infeasible, got area %v", ch.OptimalAreaUm2)
+	}
+	if ch.MinDelayPs <= 0 {
+		t.Error("min delay should still be reported")
+	}
+}
+
+func TestTightTargetCostsMoreArea(t *testing.T) {
+	lib := cellib.Default14nm()
+	loose := Chain(lib, 5, 30, 400)
+	tight := Chain(lib, 5, 30, loose.MinDelayPs*1.05)
+	if math.IsInf(tight.OptimalAreaUm2, 1) {
+		t.Skip("tight target infeasible")
+	}
+	if tight.OptimalAreaUm2 <= loose.OptimalAreaUm2 {
+		t.Errorf("tight target area %v should exceed loose %v", tight.OptimalAreaUm2, loose.OptimalAreaUm2)
+	}
+}
+
+func TestScorePenalizesTimingMiss(t *testing.T) {
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 5, 40, 160)
+	if math.IsInf(ch.OptimalAreaUm2, 1) {
+		t.Skip("infeasible")
+	}
+	// All-minimum sizing should miss a tight target.
+	ch.Apply([]int{1, 1, 1, 1, 1})
+	if ch.CurrentDelayPs() <= ch.TargetPs {
+		t.Skip("min sizing meets target; cannot test miss")
+	}
+	if !math.IsInf(ch.Score(), 1) {
+		t.Error("timing miss should score +Inf")
+	}
+}
+
+func TestSTAAgreesWithClosedForm(t *testing.T) {
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 4, 25, 300)
+	ch.Apply([]int{2, 2, 4, 8})
+	closed := ch.CurrentDelayPs()
+	staArr := ch.STAConsistent()
+	if math.Abs(closed-staArr) > closed*0.05+1 {
+		t.Errorf("closed-form %v vs STA %v diverge", closed, staArr)
+	}
+}
+
+func TestStageClamping(t *testing.T) {
+	lib := cellib.Default14nm()
+	ch := Chain(lib, 20, 10, 1000)
+	if len(ch.Stages) != 8 {
+		t.Errorf("stage clamp failed: %d", len(ch.Stages))
+	}
+	ch0 := Chain(lib, 0, 10, 1000)
+	if len(ch0.Stages) != 1 {
+		t.Errorf("min stages failed: %d", len(ch0.Stages))
+	}
+}

@@ -1,0 +1,415 @@
+// Package floorplan implements block-level floorplanning by recursive
+// min-cut bisection, plus the paper's "chicken-egg loop" between
+// floorplanning and global interconnect design (Sec. 3.3, ML
+// application (iv): "prediction of the 'fixed point' of a given
+// chicken-egg loop of design (e.g., the loop between floorplanning and
+// global interconnect design)").
+//
+// The loop is mechanistic: a floorplan fixes block positions, positions
+// fix inter-block wirelengths, long wires need repeater area, repeater
+// area grows the blocks, and grown blocks change the floorplan. The
+// FixedPoint iteration runs the loop to convergence; the dataset helpers
+// let an ML model predict the converged wirelength from the initial
+// state without iterating — the paper's one-pass-design enabler.
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/partition"
+)
+
+// Block is one floorplanned region.
+type Block struct {
+	Name     string
+	BaseArea float64 // intrinsic cell area
+	Area     float64 // current area including repeater overhead
+	X, Y     float64 // placed lower-left corner
+	W, H     float64
+}
+
+// Conn is a weighted connection between two blocks.
+type Conn struct {
+	A, B   int
+	Weight float64 // number of nets (or total bits) between the blocks
+}
+
+// Floorplan is a placed block set.
+type Floorplan struct {
+	Blocks []Block
+	Conns  []Conn
+	DieW   float64
+	DieH   float64
+}
+
+// Layout places the blocks into a die by recursive bisection: the block
+// set splits into two halves balanced by area and with minimal
+// connection weight across the split; the die rectangle splits
+// proportionally; recurse. Whitespace fraction pads the die.
+func Layout(blocks []Block, conns []Conn, whitespace float64) *Floorplan {
+	fp := &Floorplan{
+		Blocks: append([]Block(nil), blocks...),
+		Conns:  append([]Conn(nil), conns...),
+	}
+	var total float64
+	for _, b := range blocks {
+		total += b.Area
+	}
+	side := math.Sqrt(total * (1 + whitespace))
+	fp.DieW, fp.DieH = side, side
+
+	ids := make([]int, len(blocks))
+	for i := range ids {
+		ids[i] = i
+	}
+	fp.layoutRec(ids, 0, 0, side, side)
+	return fp
+}
+
+// layoutRec assigns the region (x,y,w,h) to the block set.
+func (fp *Floorplan) layoutRec(ids []int, x, y, w, h float64) {
+	if len(ids) == 0 {
+		return
+	}
+	if len(ids) == 1 {
+		b := &fp.Blocks[ids[0]]
+		b.X, b.Y, b.W, b.H = x, y, w, h
+		return
+	}
+	left, right := fp.minCutSplit(ids)
+	var la, ra float64
+	for _, i := range left {
+		la += fp.Blocks[i].Area
+	}
+	for _, i := range right {
+		ra += fp.Blocks[i].Area
+	}
+	frac := 0.5
+	if la+ra > 0 {
+		frac = la / (la + ra)
+	}
+	if w >= h {
+		fp.layoutRec(left, x, y, w*frac, h)
+		fp.layoutRec(right, x+w*frac, y, w*(1-frac), h)
+	} else {
+		fp.layoutRec(left, x, y, w, h*frac)
+		fp.layoutRec(right, x, y+h*frac, w, h*(1-frac))
+	}
+}
+
+// minCutSplit bisects a block set greedily: start from an area-balanced
+// split ordered by connectivity to a seed block, then improve with
+// single-block swaps while the cut weight drops.
+func (fp *Floorplan) minCutSplit(ids []int) (left, right []int) {
+	half := len(ids) / 2
+	left = append([]int(nil), ids[:half]...)
+	right = append([]int(nil), ids[half:]...)
+	side := map[int]int{}
+	for _, i := range left {
+		side[i] = 0
+	}
+	for _, i := range right {
+		side[i] = 1
+	}
+	cutWeight := func() float64 {
+		var c float64
+		for _, cn := range fp.Conns {
+			sa, aok := side[cn.A]
+			sb, bok := side[cn.B]
+			if aok && bok && sa != sb {
+				c += cn.Weight
+			}
+		}
+		return c
+	}
+	improved := true
+	for pass := 0; pass < 6 && improved; pass++ {
+		improved = false
+		base := cutWeight()
+		for li := range left {
+			for ri := range right {
+				side[left[li]], side[right[ri]] = 1, 0
+				if c := cutWeight(); c < base {
+					left[li], right[ri] = right[ri], left[li]
+					base = c
+					improved = true
+				} else {
+					side[left[li]], side[right[ri]] = 0, 1
+				}
+			}
+		}
+	}
+	return left, right
+}
+
+// Wirelength returns the total weighted center-to-center Manhattan
+// wirelength.
+func (fp *Floorplan) Wirelength() float64 {
+	var wl float64
+	for _, c := range fp.Conns {
+		a, b := &fp.Blocks[c.A], &fp.Blocks[c.B]
+		ax, ay := a.X+a.W/2, a.Y+a.H/2
+		bx, by := b.X+b.W/2, b.Y+b.H/2
+		wl += c.Weight * (math.Abs(ax-bx) + math.Abs(ay-by))
+	}
+	return wl
+}
+
+// Overlap returns the total pairwise overlap area (0 for a legal
+// floorplan; recursive bisection is overlap-free by construction, so
+// this is a checkable invariant).
+func (fp *Floorplan) Overlap() float64 {
+	var ov float64
+	for i := range fp.Blocks {
+		for j := i + 1; j < len(fp.Blocks); j++ {
+			a, b := &fp.Blocks[i], &fp.Blocks[j]
+			w := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+			h := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+			if w > 1e-9 && h > 1e-9 {
+				ov += w * h
+			}
+		}
+	}
+	return ov
+}
+
+// LoopConfig parameterizes the floorplan/interconnect fixed-point loop.
+type LoopConfig struct {
+	// RepeaterAreaPerWire is block area added per unit of attached
+	// wirelength (default 0.02).
+	RepeaterAreaPerWire float64
+	// Whitespace fraction for the die (default 0.15).
+	Whitespace float64
+	// TolFrac is the convergence tolerance on wirelength change
+	// (default 0.5%).
+	TolFrac  float64
+	MaxIters int // default 20
+}
+
+func (c LoopConfig) withDefaults() LoopConfig {
+	if c.RepeaterAreaPerWire <= 0 {
+		c.RepeaterAreaPerWire = 0.02
+	}
+	if c.Whitespace <= 0 {
+		c.Whitespace = 0.15
+	}
+	if c.TolFrac <= 0 {
+		c.TolFrac = 0.005
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 20
+	}
+	return c
+}
+
+// LoopResult is a fixed-point iteration trace.
+type LoopResult struct {
+	Iterations int
+	Converged  bool
+	WireTrace  []float64
+	AreaTrace  []float64
+	Final      *Floorplan
+}
+
+// FixedPoint iterates floorplan -> wirelength -> repeater area ->
+// floorplan until the wirelength stabilizes.
+func FixedPoint(blocks []Block, conns []Conn, cfg LoopConfig) LoopResult {
+	cfg = cfg.withDefaults()
+	work := append([]Block(nil), blocks...)
+	for i := range work {
+		if work[i].Area == 0 {
+			work[i].Area = work[i].BaseArea
+		}
+	}
+	var res LoopResult
+	prevWL := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		fp := Layout(work, conns, cfg.Whitespace)
+		wl := fp.Wirelength()
+		var area float64
+		for _, b := range fp.Blocks {
+			area += b.Area
+		}
+		res.WireTrace = append(res.WireTrace, wl)
+		res.AreaTrace = append(res.AreaTrace, area)
+		res.Final = fp
+		res.Iterations = iter + 1
+		if math.Abs(wl-prevWL) <= cfg.TolFrac*math.Max(wl, 1e-12) {
+			res.Converged = true
+			break
+		}
+		prevWL = wl
+		// Interconnect reacts: repeater area proportional to each
+		// block's attached wirelength.
+		attached := make([]float64, len(work))
+		for _, c := range fp.Conns {
+			a, b := &fp.Blocks[c.A], &fp.Blocks[c.B]
+			d := math.Abs(a.X+a.W/2-(b.X+b.W/2)) + math.Abs(a.Y+a.H/2-(b.Y+b.H/2))
+			attached[c.A] += c.Weight * d / 2
+			attached[c.B] += c.Weight * d / 2
+		}
+		for i := range work {
+			work[i].Area = work[i].BaseArea + cfg.RepeaterAreaPerWire*attached[i]
+		}
+	}
+	return res
+}
+
+// FromNetlist derives a block-level floorplanning instance from a real
+// design: 2^levels blocks by recursive min-cut partitioning, with
+// connection weights equal to the net counts between blocks.
+func FromNetlist(n *netlist.Netlist, levels int, seed int64) ([]Block, []Conn) {
+	if levels <= 0 {
+		levels = 2
+	}
+	blocks := [][]int{allCells(n)}
+	for level := 0; level < levels; level++ {
+		var next [][]int
+		for bi, b := range blocks {
+			bp := partition.Bisect(n, b, seed+int64(level*100+bi))
+			var left, right []int
+			for _, inst := range b {
+				if bp.Side[inst] == 0 {
+					left = append(left, inst)
+				} else {
+					right = append(right, inst)
+				}
+			}
+			if len(left) == 0 || len(right) == 0 {
+				next = append(next, b)
+				continue
+			}
+			next = append(next, left, right)
+		}
+		blocks = next
+	}
+	blockOf := make([]int, n.NumCells())
+	out := make([]Block, len(blocks))
+	for bi, b := range blocks {
+		var area float64
+		for _, inst := range b {
+			area += n.Insts[inst].Cell.Area
+			blockOf[inst] = bi
+		}
+		out[bi] = Block{Name: blockName(bi), BaseArea: area, Area: area}
+	}
+	// Connection weights: nets spanning block pairs.
+	weights := map[[2]int]float64{}
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.IsClock || net.Driver < 0 {
+			continue
+		}
+		seen := map[int]bool{blockOf[net.Driver]: true}
+		for _, s := range net.Sinks {
+			seen[blockOf[s.Inst]] = true
+		}
+		if len(seen) < 2 {
+			continue
+		}
+		var members []int
+		for b := range seen {
+			members = append(members, b)
+		}
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				a, b := members[x], members[y]
+				if a > b {
+					a, b = b, a
+				}
+				weights[[2]int{a, b}]++
+			}
+		}
+	}
+	var conns []Conn
+	for k, w := range weights {
+		conns = append(conns, Conn{A: k[0], B: k[1], Weight: w})
+	}
+	sortConns(conns)
+	return out, conns
+}
+
+// RandomCase generates a synthetic floorplanning instance for fixed-
+// point dataset generation.
+func RandomCase(rng *rand.Rand, numBlocks int) ([]Block, []Conn) {
+	if numBlocks < 2 {
+		numBlocks = 2
+	}
+	blocks := make([]Block, numBlocks)
+	for i := range blocks {
+		a := 50 + rng.Float64()*500
+		blocks[i] = Block{Name: blockName(i), BaseArea: a, Area: a}
+	}
+	var conns []Conn
+	for i := 0; i < numBlocks; i++ {
+		for j := i + 1; j < numBlocks; j++ {
+			if rng.Float64() < 0.5 {
+				conns = append(conns, Conn{A: i, B: j, Weight: 1 + rng.Float64()*10})
+			}
+		}
+	}
+	return blocks, conns
+}
+
+// Features extracts the pre-iteration features used to predict the
+// fixed point: block count, total base area, area skew, connection
+// count, total weight, and the first-layout wirelength.
+func Features(blocks []Block, conns []Conn, cfg LoopConfig) []float64 {
+	cfg = cfg.withDefaults()
+	var area, maxArea, weight float64
+	for _, b := range blocks {
+		a := b.BaseArea
+		area += a
+		if a > maxArea {
+			maxArea = a
+		}
+	}
+	for _, c := range conns {
+		weight += c.Weight
+	}
+	fp := Layout(blocks, conns, cfg.Whitespace)
+	skew := 0.0
+	if area > 0 {
+		skew = maxArea / area * float64(len(blocks))
+	}
+	return []float64{
+		float64(len(blocks)),
+		area,
+		skew,
+		float64(len(conns)),
+		weight,
+		fp.Wirelength(),
+	}
+}
+
+func blockName(i int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(letters) {
+		return string(letters[i])
+	}
+	return "B" + string(letters[i%len(letters)])
+}
+
+func allCells(n *netlist.Netlist) []int {
+	out := make([]int, n.NumCells())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sortConns orders connections deterministically (map iteration order
+// must not leak into results).
+func sortConns(conns []Conn) {
+	for i := 1; i < len(conns); i++ {
+		for j := i; j > 0; j-- {
+			a, b := conns[j-1], conns[j]
+			if a.A < b.A || (a.A == b.A && a.B <= b.B) {
+				break
+			}
+			conns[j-1], conns[j] = b, a
+		}
+	}
+}

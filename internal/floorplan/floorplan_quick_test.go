@@ -1,0 +1,58 @@
+package floorplan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLayoutLegalQuick: layouts of arbitrary random cases are always
+// overlap-free, in-die, and area-conserving.
+func TestLayoutLegalQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks, conns := RandomCase(rng, 2+int(nRaw%10))
+		fp := Layout(blocks, conns, 0.1)
+		if fp.Overlap() > 1e-6 {
+			return false
+		}
+		for _, b := range fp.Blocks {
+			if b.W <= 0 || b.H <= 0 {
+				return false
+			}
+			if b.X < -1e-9 || b.Y < -1e-9 || b.X+b.W > fp.DieW+1e-9 || b.Y+b.H > fp.DieH+1e-9 {
+				return false
+			}
+		}
+		return fp.Wirelength() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFixedPointMonotoneAreaQuick: the loop's total area never shrinks
+// below the base area and the trace lengths are consistent.
+func TestFixedPointMonotoneAreaQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks, conns := RandomCase(rng, 3+int(nRaw%6))
+		var base float64
+		for _, b := range blocks {
+			base += b.BaseArea
+		}
+		res := FixedPoint(blocks, conns, LoopConfig{})
+		if len(res.WireTrace) != res.Iterations || len(res.AreaTrace) != res.Iterations {
+			return false
+		}
+		for _, a := range res.AreaTrace {
+			if a < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/ml"
+	"repro/internal/netlist"
+)
+
+func randomCase(seed int64, n int) ([]Block, []Conn) {
+	rng := rand.New(rand.NewSource(seed))
+	return RandomCase(rng, n)
+}
+
+func TestLayoutLegal(t *testing.T) {
+	blocks, conns := randomCase(1, 9)
+	fp := Layout(blocks, conns, 0.15)
+	if ov := fp.Overlap(); ov > 1e-6 {
+		t.Fatalf("blocks overlap by %v", ov)
+	}
+	var blockArea float64
+	for _, b := range fp.Blocks {
+		if b.W <= 0 || b.H <= 0 {
+			t.Fatalf("degenerate block %+v", b)
+		}
+		if b.X < -1e-9 || b.Y < -1e-9 || b.X+b.W > fp.DieW+1e-9 || b.Y+b.H > fp.DieH+1e-9 {
+			t.Fatalf("block outside die: %+v", b)
+		}
+		blockArea += b.W * b.H
+	}
+	// Recursive bisection tiles the die exactly.
+	if math.Abs(blockArea-fp.DieW*fp.DieH) > 1e-6*blockArea {
+		t.Errorf("tiling gap: blocks %v vs die %v", blockArea, fp.DieW*fp.DieH)
+	}
+}
+
+func TestLayoutRegionAreaProportional(t *testing.T) {
+	blocks, conns := randomCase(2, 8)
+	fp := Layout(blocks, conns, 0.1)
+	var total, totalRegion float64
+	for _, b := range blocks {
+		total += b.Area
+	}
+	for _, b := range fp.Blocks {
+		totalRegion += b.W * b.H
+	}
+	for i, b := range fp.Blocks {
+		wantFrac := blocks[i].Area / total
+		gotFrac := b.W * b.H / totalRegion
+		if math.Abs(wantFrac-gotFrac) > 0.02 {
+			t.Errorf("block %d area fraction %v, want %v", i, gotFrac, wantFrac)
+		}
+	}
+}
+
+func TestLayoutPutsConnectedBlocksNear(t *testing.T) {
+	// A chain A-B-C-D with heavy A-B and C-D weights: A,B should be
+	// closer than A,D on average over seeds.
+	blocks := make([]Block, 4)
+	for i := range blocks {
+		blocks[i] = Block{Name: blockName(i), BaseArea: 100, Area: 100}
+	}
+	conns := []Conn{{0, 1, 50}, {2, 3, 50}, {1, 2, 1}}
+	fp := Layout(blocks, conns, 0.1)
+	d := func(i, j int) float64 {
+		a, b := fp.Blocks[i], fp.Blocks[j]
+		return math.Abs(a.X+a.W/2-(b.X+b.W/2)) + math.Abs(a.Y+a.H/2-(b.Y+b.H/2))
+	}
+	if d(0, 1) > d(0, 3) {
+		t.Errorf("heavily connected pair farther apart: d(A,B)=%v d(A,D)=%v", d(0, 1), d(0, 3))
+	}
+}
+
+func TestFixedPointConverges(t *testing.T) {
+	blocks, conns := randomCase(3, 10)
+	res := FixedPoint(blocks, conns, LoopConfig{})
+	if !res.Converged {
+		t.Fatalf("loop did not converge in %d iterations (trace %v)", res.Iterations, res.WireTrace)
+	}
+	if res.Iterations < 2 {
+		t.Error("loop should need at least one interconnect reaction")
+	}
+	// Areas grow once repeaters are added.
+	if res.AreaTrace[len(res.AreaTrace)-1] <= res.AreaTrace[0] {
+		t.Error("repeater insertion should grow total area")
+	}
+	if ov := res.Final.Overlap(); ov > 1e-6 {
+		t.Error("final floorplan overlaps")
+	}
+}
+
+func TestFixedPointInputUntouched(t *testing.T) {
+	blocks, conns := randomCase(4, 6)
+	area0 := blocks[0].Area
+	FixedPoint(blocks, conns, LoopConfig{})
+	if blocks[0].Area != area0 {
+		t.Fatal("FixedPoint modified its input blocks")
+	}
+}
+
+func TestFromNetlist(t *testing.T) {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(5))
+	blocks, conns := FromNetlist(n, 2, 1)
+	if len(blocks) != 4 {
+		t.Fatalf("%d blocks, want 4", len(blocks))
+	}
+	var area float64
+	for _, b := range blocks {
+		if b.BaseArea <= 0 {
+			t.Fatal("empty block")
+		}
+		area += b.BaseArea
+	}
+	if math.Abs(area-n.Area()) > 1e-6 {
+		t.Errorf("block areas %v != design area %v", area, n.Area())
+	}
+	if len(conns) == 0 {
+		t.Fatal("no inter-block connections")
+	}
+	for _, c := range conns {
+		if c.A >= c.B || c.Weight <= 0 {
+			t.Fatalf("bad conn %+v", c)
+		}
+	}
+	res := FixedPoint(blocks, conns, LoopConfig{})
+	if !res.Converged {
+		t.Errorf("netlist-derived loop did not converge: %v", res.WireTrace)
+	}
+}
+
+func TestPredictFixedPointFromFeatures(t *testing.T) {
+	// The paper's ML application (iv): learn the loop's fixed point
+	// from the initial state. Train on random cases, test held out.
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		blocks, conns := RandomCase(rng, 4+rng.Intn(8))
+		x = append(x, Features(blocks, conns, LoopConfig{}))
+		res := FixedPoint(blocks, conns, LoopConfig{})
+		y = append(y, res.WireTrace[len(res.WireTrace)-1])
+	}
+	xtr, ytr, xte, yte := ml.Split(x, y, 0.25, 1)
+	sc := ml.FitScaler(xtr)
+	reg, err := ml.FitRidge(sc.Transform(xtr), ytr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := reg.PredictAll(sc.Transform(xte))
+	if r2 := ml.R2(pred, yte); r2 < 0.8 {
+		t.Errorf("fixed-point prediction R2 = %v, want > 0.8", r2)
+	}
+}
+
+func TestFeaturesStable(t *testing.T) {
+	blocks, conns := randomCase(9, 7)
+	a := Features(blocks, conns, LoopConfig{})
+	b := Features(blocks, conns, LoopConfig{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("features not deterministic")
+		}
+	}
+	if len(a) != 6 {
+		t.Fatalf("feature count %d", len(a))
+	}
+}

@@ -1,0 +1,249 @@
+// Package flow composes synthesis, placement, clock-tree synthesis,
+// routing and signoff timing into the SP&R implementation flow that the
+// paper's experiments drive.
+//
+// A flow run is the atomic unit everywhere in the reproduction: the
+// noise study of Fig. 3 runs it repeatedly with different seeds, the
+// multi-armed bandit of Fig. 7 samples it at different target
+// frequencies, the doomed-run corpus of Figs. 9-10 harvests its detailed-
+// routing logfiles, and METRICS (Fig. 11) instruments its steps through
+// the Observer hook.
+package flow
+
+import (
+	"repro/internal/cts"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/synth"
+)
+
+// Options is one point in the flow-option tree of the paper's Fig. 5(a):
+// each field is a knob a human engineer (or a robot) must choose.
+type Options struct {
+	TargetFreqGHz float64 // timing target (default 0.5)
+	Seed          int64   // run seed; all per-step noise derives from it
+
+	SynthEffort   int     // 1..3
+	MaxFanout     int     // synthesis buffering threshold
+	Utilization   float64 // placement utilization
+	PlaceMoves    int     // SA moves per cell (default 60)
+	Partitions    int     // placement partitioning (Fig. 4(b) lever)
+	TracksPerEdge float64 // routing supply (default 28)
+	RouteEffort   int     // 1..3
+	RouteIters    int     // detailed-routing iteration budget (default 20)
+	DeratePct     float64 // signoff guardband
+
+	// StopRouteAfter truncates detailed routing (set by doomed-run
+	// policies; 0 = run to completion).
+	StopRouteAfter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetFreqGHz <= 0 {
+		o.TargetFreqGHz = 0.5
+	}
+	if o.PlaceMoves <= 0 {
+		o.PlaceMoves = 60
+	}
+	return o
+}
+
+// Result is the outcome of one flow run.
+type Result struct {
+	Options Options
+
+	// Per-step results.
+	Synth  synth.Result
+	Place  place.Result
+	CTS    cts.Result
+	Global *route.GlobalResult
+	Route  *route.DetailResult
+	Sign   *sta.Report
+
+	// Headline QOR.
+	AreaUm2    float64 // cell area + clock buffers
+	PowerNW    float64 // leakage + clock power
+	WNSPs      float64 // signoff WNS
+	MaxFreqGHz float64 // signoff-achievable frequency
+	TimingMet  bool
+	RouteOK    bool
+	Met        bool // TimingMet && RouteOK
+
+	// RuntimeProxy is the simulated TAT of the whole run.
+	RuntimeProxy float64
+
+	// Netlist is the implemented design (sized, placed).
+	Netlist *netlist.Netlist
+}
+
+// StepRecord is the per-step measurement event delivered to observers —
+// the METRICS "wrapper/API" data of Fig. 11.
+type StepRecord struct {
+	Design  string
+	RunSeed int64
+	Step    string // "synth", "place", "cts", "groute", "droute", "sta"
+	Options Options
+	Metrics map[string]float64
+	// Series carries per-iteration data for steps that have it (the
+	// detailed router's DRV-vs-iteration logfile).
+	Series []float64
+}
+
+// Observer receives step records as the flow executes. Implementations
+// must not retain the record's maps across calls if they mutate them.
+type Observer interface {
+	OnStep(rec StepRecord)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(rec StepRecord)
+
+// OnStep calls f(rec).
+func (f ObserverFunc) OnStep(rec StepRecord) { f(rec) }
+
+// subSeed derives a decorrelated per-step seed (splitmix64 step).
+func subSeed(seed int64, step uint64) int64 {
+	z := uint64(seed) + step*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes the full flow. The input design is not modified.
+func Run(design *netlist.Netlist, opts Options) *Result {
+	return RunObserved(design, opts, nil)
+}
+
+// RunObserved executes the full flow, reporting each step to obs (which
+// may be nil).
+func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
+	opts = opts.withDefaults()
+	res := &Result{Options: opts}
+	emit := func(step string, metrics map[string]float64, series []float64) {
+		if obs != nil {
+			obs.OnStep(StepRecord{
+				Design: design.Name, RunSeed: opts.Seed, Step: step,
+				Options: opts, Metrics: metrics, Series: series,
+			})
+		}
+	}
+
+	// Synthesis.
+	res.Synth = synth.Run(design, synth.Options{
+		TargetFreqGHz: opts.TargetFreqGHz,
+		Effort:        opts.SynthEffort,
+		Seed:          subSeed(opts.Seed, 1),
+		MaxFanout:     opts.MaxFanout,
+	})
+	n := res.Synth.Netlist
+	res.Netlist = n
+	res.RuntimeProxy += float64(res.Synth.Passes) * float64(n.NumCells()) / 1000
+	emit("synth", map[string]float64{
+		"area":    res.Synth.AreaUm2,
+		"wns":     res.Synth.WNSPs,
+		"cells":   float64(n.NumCells()),
+		"upsized": float64(res.Synth.Upsized),
+		"buffers": float64(res.Synth.BuffersAdded),
+	}, nil)
+
+	// Placement.
+	res.Place = place.Place(n, place.Options{
+		Seed:        subSeed(opts.Seed, 2),
+		Moves:       opts.PlaceMoves * n.NumCells(),
+		Utilization: opts.Utilization,
+		Partitions:  opts.Partitions,
+	})
+	res.RuntimeProxy += float64(res.Place.RuntimeProxy) / 50000
+	emit("place", map[string]float64{
+		"hpwl":         res.Place.HPWLUm,
+		"initial_hpwl": res.Place.InitialHPWLUm,
+		"width":        res.Place.Width,
+	}, nil)
+
+	// Clock-tree synthesis.
+	res.CTS = cts.Synthesize(n, cts.Options{Seed: subSeed(opts.Seed, 3)})
+	res.RuntimeProxy += float64(res.CTS.Buffers) / 100
+	emit("cts", map[string]float64{
+		"skew":    res.CTS.MaxSkewPs,
+		"latency": res.CTS.LatencyPs,
+		"buffers": float64(res.CTS.Buffers),
+	}, nil)
+
+	// Global routing.
+	res.Global = route.GlobalRoute(n, route.GlobalOptions{
+		Seed:          subSeed(opts.Seed, 4),
+		TracksPerEdge: opts.TracksPerEdge,
+	})
+	res.RuntimeProxy += res.Global.WirelengthUm / 5000
+	emit("groute", map[string]float64{
+		"wirelength":   res.Global.WirelengthUm,
+		"overflow":     res.Global.OverflowTotal,
+		"overflowPeak": res.Global.OverflowPeak,
+		"hotspots":     res.Global.HotspotFrac,
+		"margin":       res.Global.CongestionMargin(),
+	}, nil)
+
+	// Detailed routing.
+	res.Route = route.DetailRoute(res.Global, route.DetailOptions{
+		Iterations: opts.RouteIters,
+		Effort:     opts.RouteEffort,
+		Seed:       subSeed(opts.Seed, 5),
+		StopAfter:  opts.StopRouteAfter,
+	})
+	res.RuntimeProxy += res.Route.RuntimeProxy
+	series := make([]float64, len(res.Route.DRVs))
+	for i, d := range res.Route.DRVs {
+		series[i] = float64(d)
+	}
+	emit("droute", map[string]float64{
+		"drvs":       float64(res.Route.Final),
+		"iterations": float64(res.Route.IterationsRun),
+	}, series)
+
+	// Signoff timing with CTS skews.
+	res.Sign = sta.Analyze(n, sta.Config{
+		Engine:    sta.Signoff,
+		SI:        true,
+		ClockSkew: res.CTS.SkewPs,
+		DeratePct: opts.DeratePct,
+	})
+	res.RuntimeProxy += res.Sign.CostUnits
+	emit("sta", map[string]float64{
+		"wns":     res.Sign.WNSPs,
+		"tns":     res.Sign.TNSPs,
+		"maxfreq": res.Sign.MaxFreqGHz,
+	}, nil)
+
+	res.AreaUm2 = n.Area() + res.CTS.AreaUm2
+	res.PowerNW = n.Leakage() + res.CTS.PowerNW
+	res.WNSPs = res.Sign.WNSPs
+	res.MaxFreqGHz = res.Sign.MaxFreqGHz
+	res.TimingMet = res.Sign.WNSPs >= 0
+	res.RouteOK = res.Route.Success
+	res.Met = res.TimingMet && res.RouteOK
+	return res
+}
+
+// Constraints is a QOR acceptance box: the "given power and area
+// constraints" of the paper's Fig. 7 caption.
+type Constraints struct {
+	MaxAreaUm2 float64 // 0 = unconstrained
+	MaxPowerNW float64 // 0 = unconstrained
+}
+
+// Satisfied reports whether a flow result meets timing, routes cleanly,
+// and fits the constraint box.
+func (c Constraints) Satisfied(r *Result) bool {
+	if !r.Met {
+		return false
+	}
+	if c.MaxAreaUm2 > 0 && r.AreaUm2 > c.MaxAreaUm2 {
+		return false
+	}
+	if c.MaxPowerNW > 0 && r.PowerNW > c.MaxPowerNW {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package gwtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rugged is a deceptive 1-D landscape: many local minima, global minimum
+// at x=7. Threads do hill-descending with occasional uphill tolerance.
+type rugged struct {
+	x    float64
+	temp float64
+}
+
+func (r *rugged) cost(x float64) float64 {
+	return (x-7)*(x-7) + 4*math.Sin(3*x)*math.Sin(3*x)
+}
+
+func (r *rugged) Step(rng *rand.Rand) {
+	nx := r.x + rng.NormFloat64()*0.5
+	if r.cost(nx) < r.cost(r.x) || rng.Float64() < r.temp {
+		r.x = nx
+	}
+	r.temp *= 0.995
+}
+
+func (r *rugged) Cost() float64 { return r.cost(r.x) }
+
+func (r *rugged) Clone() Optimizer {
+	c := *r
+	return &c
+}
+
+func newRugged(i int) Optimizer {
+	rng := rand.New(rand.NewSource(int64(i)))
+	return &rugged{x: rng.Float64()*20 - 10, temp: 0.3}
+}
+
+func TestGWTWImproves(t *testing.T) {
+	res := Run(newRugged, Config{Population: 10, Rounds: 12, StepsPerRound: 40, Seed: 1})
+	if res.BestCost > 2 {
+		t.Errorf("best cost %v, want near 0", res.BestCost)
+	}
+	if res.TotalSteps != 10*12*40 {
+		t.Errorf("steps %d", res.TotalSteps)
+	}
+	if res.Clones == 0 {
+		t.Error("no clones made")
+	}
+	if len(res.Trace) != 12 {
+		t.Errorf("trace rounds %d", len(res.Trace))
+	}
+}
+
+func TestTraceSortedAndImproving(t *testing.T) {
+	res := Run(newRugged, Config{Population: 8, Rounds: 10, StepsPerRound: 30, Seed: 2})
+	for r, costs := range res.Trace {
+		for i := 1; i < len(costs); i++ {
+			if costs[i] < costs[i-1] {
+				t.Fatalf("round %d costs not sorted", r)
+			}
+		}
+	}
+	first := res.Trace[0][0]
+	last := res.Trace[len(res.Trace)-1][0]
+	if last > first {
+		t.Errorf("best-of-population should not regress: %v -> %v", first, last)
+	}
+}
+
+func TestGWTWBeatsIndependentOnAverage(t *testing.T) {
+	// At equal budget, concentrating compute on winners should do at
+	// least as well on a deceptive landscape, averaged over seeds.
+	var g, ind float64
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := Config{Population: 10, Rounds: 10, StepsPerRound: 25, Seed: seed}
+		g += Run(newRugged, cfg).BestCost
+		ind += RunIndependent(newRugged, cfg).BestCost
+	}
+	if g > ind+0.5 {
+		t.Errorf("GWTW average %v clearly worse than independent %v", g/10, ind/10)
+	}
+}
+
+func TestIndependentDoesNotClone(t *testing.T) {
+	res := RunIndependent(newRugged, Config{Population: 6, Rounds: 5, StepsPerRound: 10, Seed: 3})
+	if res.Clones != 0 {
+		t.Errorf("independent run cloned %d threads", res.Clones)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Population: 6, Rounds: 6, StepsPerRound: 20, Seed: 9}
+	a := Run(newRugged, cfg)
+	b := Run(newRugged, cfg)
+	if a.BestCost != b.BestCost {
+		t.Error("same seed differs")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Population != 8 || cfg.Rounds != 10 || cfg.StepsPerRound != 50 || cfg.KeepFrac != 0.5 {
+		t.Errorf("defaults %+v", cfg)
+	}
+}
+
+func TestSingleThreadPopulation(t *testing.T) {
+	res := Run(newRugged, Config{Population: 1, Rounds: 3, StepsPerRound: 10, Seed: 4})
+	if res.Best == nil {
+		t.Fatal("no best returned")
+	}
+}

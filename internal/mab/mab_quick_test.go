@@ -1,0 +1,85 @@
+package mab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestThompsonPosteriorBoundedQuick: posteriors stay in (0,1) under
+// arbitrary (clipped) reward sequences.
+func TestThompsonPosteriorBoundedQuick(t *testing.T) {
+	f := func(rewards []float64) bool {
+		ts := NewThompson(2)
+		for _, r := range rewards {
+			ts.Update(0, r)
+		}
+		p := ts.Posterior(0)
+		return p > 0 && p < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectAlwaysInRangeQuick: every policy returns a valid arm under
+// arbitrary update histories.
+func TestSelectAlwaysInRangeQuick(t *testing.T) {
+	f := func(seed int64, armsRaw uint8, updates []float64) bool {
+		arms := 2 + int(armsRaw%8)
+		rng := rand.New(rand.NewSource(seed))
+		for _, alg := range []Algorithm{
+			NewThompson(arms), NewEpsilonGreedy(arms, 0.1),
+			NewSoftmax(arms, 0.1), NewUCB1(arms),
+		} {
+			for i, r := range updates {
+				alg.Update(i%arms, clip01(r))
+			}
+			for k := 0; k < 5; k++ {
+				a := alg.Select(rng)
+				if a < 0 || a >= arms {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clip01(r float64) float64 {
+	if r != r || r < 0 { // NaN or negative
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// TestSimulateAccountingQuick: pull counts, trace lengths and reward
+// bounds hold for arbitrary configurations.
+func TestSimulateAccountingQuick(t *testing.T) {
+	env := Bernoulli{Probs: []float64{0.2, 0.5, 0.8}}
+	f := func(seed int64, itRaw, concRaw uint8) bool {
+		iters := 1 + int(itRaw%50)
+		conc := 1 + int(concRaw%8)
+		h := Simulate(NewThompson(3), env, Config{Iterations: iters, Concurrent: conc, Seed: seed})
+		if len(h.Pulls) != iters*conc {
+			return false
+		}
+		if len(h.BestSoFar) != iters || len(h.CumRegret) != iters {
+			return false
+		}
+		total := 0
+		for _, c := range h.ArmCounts {
+			total += c
+		}
+		return total == iters*conc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

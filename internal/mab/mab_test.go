@@ -1,0 +1,215 @@
+package mab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func env() Bernoulli {
+	return Bernoulli{Probs: []float64{0.1, 0.25, 0.55, 0.8, 0.4}}
+}
+
+func algos(n int) []Algorithm {
+	return []Algorithm{
+		NewThompson(n),
+		NewEpsilonGreedy(n, 0.1),
+		NewSoftmax(n, 0.1),
+		NewUCB1(n),
+	}
+}
+
+func TestAllAlgorithmsFindGoodArm(t *testing.T) {
+	e := env()
+	for _, alg := range algos(e.NumArms()) {
+		h := Simulate(alg, e, Config{Iterations: 200, Concurrent: 5, Seed: 1})
+		// The best arm (index 3, p=0.8) should dominate pulls.
+		bestCount := h.ArmCounts[3]
+		total := 0
+		for _, c := range h.ArmCounts {
+			total += c
+		}
+		if total != 1000 {
+			t.Fatalf("%s: %d pulls, want 1000", alg.Name(), total)
+		}
+		if float64(bestCount)/float64(total) < 0.4 {
+			t.Errorf("%s: best arm only %d/%d pulls", alg.Name(), bestCount, total)
+		}
+	}
+}
+
+func TestRegretSublinearForThompson(t *testing.T) {
+	e := env()
+	h1 := Simulate(NewThompson(e.NumArms()), e, Config{Iterations: 50, Concurrent: 5, Seed: 2})
+	h2 := Simulate(NewThompson(e.NumArms()), e, Config{Iterations: 400, Concurrent: 5, Seed: 2})
+	perPull1 := h1.FinalRegret() / float64(len(h1.Pulls))
+	perPull2 := h2.FinalRegret() / float64(len(h2.Pulls))
+	if perPull2 >= perPull1 {
+		t.Errorf("per-pull regret should fall with horizon: %v -> %v", perPull1, perPull2)
+	}
+}
+
+func TestThompsonBeatsRandomBaseline(t *testing.T) {
+	e := env()
+	var tsTotal, randTotal float64
+	for seed := int64(0); seed < 10; seed++ {
+		ts := Simulate(NewThompson(e.NumArms()), e, Config{Iterations: 100, Concurrent: 5, Seed: seed})
+		tsTotal += ts.TotalReward()
+		// eps=1 is uniform random sampling.
+		rnd := Simulate(NewEpsilonGreedy(e.NumArms(), 1.0), e, Config{Iterations: 100, Concurrent: 5, Seed: seed})
+		randTotal += rnd.TotalReward()
+	}
+	if tsTotal <= randTotal*1.2 {
+		t.Errorf("Thompson %v should clearly beat random %v", tsTotal, randTotal)
+	}
+}
+
+func TestHistoryInvariants(t *testing.T) {
+	e := env()
+	h := Simulate(NewUCB1(e.NumArms()), e, Config{Iterations: 60, Concurrent: 3, Seed: 3})
+	if len(h.BestSoFar) != 60 || len(h.MeanReward) != 60 || len(h.CumRegret) != 60 {
+		t.Fatalf("trace lengths: %d %d %d", len(h.BestSoFar), len(h.MeanReward), len(h.CumRegret))
+	}
+	if len(h.Pulls) != 180 {
+		t.Fatalf("pull count %d", len(h.Pulls))
+	}
+	for i := 1; i < len(h.BestSoFar); i++ {
+		if h.BestSoFar[i] < h.BestSoFar[i-1] {
+			t.Fatal("BestSoFar must be non-decreasing")
+		}
+		if h.CumRegret[i] < h.CumRegret[i-1]-1e-9 {
+			t.Fatal("CumRegret must be non-decreasing")
+		}
+	}
+	for _, p := range h.Pulls {
+		if p.Reward < 0 || p.Reward > 1 {
+			t.Fatalf("reward %v outside [0,1]", p.Reward)
+		}
+		if p.Slot < 0 || p.Slot >= 3 {
+			t.Fatalf("slot %d", p.Slot)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	e := env()
+	a := Simulate(NewThompson(e.NumArms()), e, Config{Seed: 7})
+	b := Simulate(NewThompson(e.NumArms()), e, Config{Seed: 7})
+	if a.TotalReward() != b.TotalReward() || a.FinalRegret() != b.FinalRegret() {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestGaussianArmsClipped(t *testing.T) {
+	g := GaussianArms{Means: []float64{0.5, 0.9}, Sigmas: []float64{0.5, 0.5}}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		r := g.Reward(i%2, rng)
+		if r < 0 || r > 1 {
+			t.Fatalf("reward %v outside [0,1]", r)
+		}
+	}
+	if g.OptimalMean() != 0.9 {
+		t.Errorf("optimal mean %v", g.OptimalMean())
+	}
+}
+
+func TestThompsonPosteriorConverges(t *testing.T) {
+	ts := NewThompson(2)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		// Feed arm 0 with p=0.2, arm 1 with p=0.7.
+		r0, r1 := 0.0, 0.0
+		if rng.Float64() < 0.2 {
+			r0 = 1
+		}
+		if rng.Float64() < 0.7 {
+			r1 = 1
+		}
+		ts.Update(0, r0)
+		ts.Update(1, r1)
+	}
+	if math.Abs(ts.Posterior(0)-0.2) > 0.05 {
+		t.Errorf("posterior(0) = %v, want ~0.2", ts.Posterior(0))
+	}
+	if math.Abs(ts.Posterior(1)-0.7) > 0.05 {
+		t.Errorf("posterior(1) = %v, want ~0.7", ts.Posterior(1))
+	}
+}
+
+func TestThompsonUpdateClipsReward(t *testing.T) {
+	ts := NewThompson(1)
+	ts.Update(0, 5)
+	ts.Update(0, -3)
+	if p := ts.Posterior(0); p < 0 || p > 1 {
+		t.Fatalf("posterior %v out of range after wild rewards", p)
+	}
+}
+
+func TestBetaSampleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		v := betaSample(rng, 0.5+rng.Float64()*5, 0.5+rng.Float64()*5)
+		if v < 0 || v > 1 {
+			t.Fatalf("beta sample %v", v)
+		}
+	}
+	// Mean check: Beta(8,2) has mean 0.8.
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += betaSample(rng, 8, 2)
+	}
+	if math.Abs(sum/n-0.8) > 0.02 {
+		t.Errorf("Beta(8,2) sample mean %v, want ~0.8", sum/n)
+	}
+}
+
+func TestUCB1TriesAllArmsFirst(t *testing.T) {
+	u := NewUCB1(4)
+	rng := rand.New(rand.NewSource(6))
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		a := u.Select(rng)
+		if seen[a] {
+			t.Fatalf("arm %d selected twice before all tried", a)
+		}
+		seen[a] = true
+		u.Update(a, 0.5)
+	}
+}
+
+func TestSoftmaxTemperatureSpreadsChoice(t *testing.T) {
+	// With huge temperature softmax is ~uniform; with tiny temperature
+	// it locks onto the best arm.
+	rng := rand.New(rand.NewSource(7))
+	hot := NewSoftmax(3, 100)
+	cold := NewSoftmax(3, 0.01)
+	for _, s := range []*Softmax{hot, cold} {
+		s.Update(0, 0.1)
+		s.Update(1, 0.9)
+		s.Update(2, 0.2)
+	}
+	hotCounts := make([]int, 3)
+	coldCounts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		hotCounts[hot.Select(rng)]++
+		coldCounts[cold.Select(rng)]++
+	}
+	if coldCounts[1] < 2900 {
+		t.Errorf("cold softmax should lock on best arm: %v", coldCounts)
+	}
+	for _, c := range hotCounts {
+		if c < 700 {
+			t.Errorf("hot softmax should be near-uniform: %v", hotCounts)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, alg := range algos(3) {
+		if alg.Name() == "" {
+			t.Error("empty algorithm name")
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package mdp implements finite Markov decision processes (value and
+// policy iteration) and the paper's doomed-run application: an MDP-based
+// "blackjack strategy card" over binned DRV counts and their change,
+// derived from detailed-router logfiles (Sec. 3.3, Figs. 9-10, and the
+// consecutive-STOP error table).
+package mdp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transition is one outcome of taking an action in a state.
+type Transition struct {
+	To   int
+	Prob float64
+}
+
+// MDP is a finite Markov decision process. Terminal states yield no
+// further reward regardless of action.
+type MDP struct {
+	NumStates  int
+	NumActions int
+	// Trans[s][a] lists the outcome distribution of action a in state
+	// s. Probabilities should sum to 1 per (s,a) with transitions.
+	Trans [][][]Transition
+	// Reward[s][a] is the expected immediate reward of action a in s.
+	Reward [][]float64
+	// Terminal marks absorbing states.
+	Terminal []bool
+	// Gamma is the discount factor in (0,1].
+	Gamma float64
+}
+
+// New allocates an MDP with the given dimensions and discount.
+func New(states, actions int, gamma float64) *MDP {
+	m := &MDP{
+		NumStates:  states,
+		NumActions: actions,
+		Trans:      make([][][]Transition, states),
+		Reward:     make([][]float64, states),
+		Terminal:   make([]bool, states),
+		Gamma:      gamma,
+	}
+	for s := 0; s < states; s++ {
+		m.Trans[s] = make([][]Transition, actions)
+		m.Reward[s] = make([]float64, actions)
+	}
+	return m
+}
+
+// Validate checks distributions sum to ~1 and indices are in range.
+func (m *MDP) Validate() error {
+	for s := 0; s < m.NumStates; s++ {
+		if m.Terminal[s] {
+			continue
+		}
+		for a := 0; a < m.NumActions; a++ {
+			ts := m.Trans[s][a]
+			if len(ts) == 0 {
+				continue // action unavailable: treated as terminal no-op
+			}
+			var sum float64
+			for _, tr := range ts {
+				if tr.To < 0 || tr.To >= m.NumStates {
+					return fmt.Errorf("mdp: state %d action %d transitions to %d of %d", s, a, tr.To, m.NumStates)
+				}
+				if tr.Prob < 0 {
+					return fmt.Errorf("mdp: negative probability at (%d,%d)", s, a)
+				}
+				sum += tr.Prob
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("mdp: transition probabilities at (%d,%d) sum to %v", s, a, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// qValue computes Q(s,a) under values v.
+func (m *MDP) qValue(s, a int, v []float64) float64 {
+	q := m.Reward[s][a]
+	for _, tr := range m.Trans[s][a] {
+		q += m.Gamma * tr.Prob * v[tr.To]
+	}
+	return q
+}
+
+// ValueIteration computes the optimal value function and a greedy policy
+// to tolerance tol (sup-norm) or maxIter sweeps.
+func (m *MDP) ValueIteration(tol float64, maxIter int) (values []float64, policy []int) {
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	v := make([]float64, m.NumStates)
+	for iter := 0; iter < maxIter; iter++ {
+		var delta float64
+		for s := 0; s < m.NumStates; s++ {
+			if m.Terminal[s] {
+				continue
+			}
+			best := math.Inf(-1)
+			for a := 0; a < m.NumActions; a++ {
+				if q := m.qValue(s, a, v); q > best {
+					best = q
+				}
+			}
+			if math.IsInf(best, -1) {
+				continue
+			}
+			delta = math.Max(delta, math.Abs(best-v[s]))
+			v[s] = best
+		}
+		if delta < tol {
+			break
+		}
+	}
+	return v, m.greedy(v)
+}
+
+// PolicyIteration computes the optimal policy by alternating policy
+// evaluation and greedy improvement — the solver the paper names for the
+// strategy card ("policy iteration in Markov decision processes [4]").
+func (m *MDP) PolicyIteration(maxIter int) (values []float64, policy []int) {
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	policy = make([]int, m.NumStates)
+	v := make([]float64, m.NumStates)
+	for iter := 0; iter < maxIter; iter++ {
+		// Evaluate the current policy with iterative sweeps.
+		for sweep := 0; sweep < 200; sweep++ {
+			var delta float64
+			for s := 0; s < m.NumStates; s++ {
+				if m.Terminal[s] {
+					continue
+				}
+				q := m.qValue(s, policy[s], v)
+				delta = math.Max(delta, math.Abs(q-v[s]))
+				v[s] = q
+			}
+			if delta < 1e-9 {
+				break
+			}
+		}
+		// Improve.
+		next := m.greedy(v)
+		stable := true
+		for s := range next {
+			if next[s] != policy[s] {
+				stable = false
+			}
+		}
+		policy = next
+		if stable {
+			break
+		}
+	}
+	return v, policy
+}
+
+// greedy returns the argmax-Q policy for the given values.
+func (m *MDP) greedy(v []float64) []int {
+	policy := make([]int, m.NumStates)
+	for s := 0; s < m.NumStates; s++ {
+		if m.Terminal[s] {
+			continue
+		}
+		best, bestQ := 0, math.Inf(-1)
+		for a := 0; a < m.NumActions; a++ {
+			if q := m.qValue(s, a, v); q > bestQ {
+				best, bestQ = a, q
+			}
+		}
+		policy[s] = best
+	}
+	return policy
+}

@@ -1,0 +1,106 @@
+package memplace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testCase(seed int64, n int) (Block, []Macro) {
+	rng := rand.New(rand.NewSource(seed))
+	b := Block{W: 100, H: 100}
+	macros := make([]Macro, n)
+	for i := range macros {
+		macros[i] = Macro{
+			Name:   string(rune('A' + i)),
+			W:      8 + rng.Float64()*12,
+			H:      8 + rng.Float64()*12,
+			LogicX: 20 + rng.Float64()*60,
+			LogicY: 20 + rng.Float64()*60,
+			Weight: 1 + rng.Float64()*10,
+		}
+	}
+	return b, macros
+}
+
+func TestRobotLegal(t *testing.T) {
+	b, macros := testCase(1, 6)
+	res := Robot(b, macros)
+	if !res.Legal {
+		t.Fatal("robot produced illegal placement")
+	}
+	if !Validate(b, res) {
+		t.Fatal("robot placement fails validation")
+	}
+	if math.IsInf(res.WirelengthUm, 1) || res.WirelengthUm <= 0 {
+		t.Fatalf("wirelength %v", res.WirelengthUm)
+	}
+}
+
+func TestRobotBeatsRandom(t *testing.T) {
+	var robot, random float64
+	trials := 0
+	for seed := int64(0); seed < 10; seed++ {
+		b, macros := testCase(seed, 5)
+		r := Robot(b, macros)
+		n := Random(b, macros, seed+100)
+		if !r.Legal || !n.Legal {
+			continue
+		}
+		robot += r.WirelengthUm
+		random += n.WirelengthUm
+		trials++
+	}
+	if trials < 5 {
+		t.Fatalf("only %d legal trials", trials)
+	}
+	if robot >= random {
+		t.Errorf("robot total WL %v not below random %v over %d trials", robot, random, trials)
+	}
+}
+
+func TestRandomLegalOrFlagged(t *testing.T) {
+	b, macros := testCase(3, 6)
+	res := Random(b, macros, 1)
+	if res.Legal && !Validate(b, res) {
+		t.Fatal("random says legal but validation fails")
+	}
+}
+
+func TestMacroPulledTowardLogic(t *testing.T) {
+	// One macro whose logic sits near the bottom edge: the robot
+	// should put it on the bottom.
+	b := Block{W: 100, H: 100}
+	m := []Macro{{Name: "M", W: 10, H: 10, LogicX: 50, LogicY: 5, Weight: 1}}
+	res := Robot(b, m)
+	if !res.Legal {
+		t.Fatal("illegal")
+	}
+	if res.Macros[0].Edge != 0 {
+		t.Errorf("macro placed on edge %d, want bottom (0)", res.Macros[0].Edge)
+	}
+	if math.Abs(res.Macros[0].X+5-50) > 2 {
+		t.Errorf("macro x %v not aligned with logic x 50", res.Macros[0].X)
+	}
+}
+
+func TestOversizedMacroFlagged(t *testing.T) {
+	b := Block{W: 20, H: 20}
+	m := []Macro{{Name: "huge", W: 30, H: 30, Weight: 1}}
+	res := Robot(b, m)
+	if res.Legal {
+		t.Fatal("macro larger than the block cannot be legal")
+	}
+}
+
+func TestManyMacrosStillPack(t *testing.T) {
+	// 10 small macros fit comfortably along a 100-unit periphery.
+	b, macros := testCase(5, 10)
+	for i := range macros {
+		macros[i].W, macros[i].H = 8, 8
+	}
+	res := Robot(b, macros)
+	if !res.Legal || !Validate(b, res) {
+		t.Fatal("robot failed to pack 10 small macros")
+	}
+}

@@ -1,0 +1,340 @@
+// Package metrics reimplements the METRICS system of the paper's Sec. 4
+// (Fig. 11, refs [9][28][43]): design tools are instrumented with
+// wrappers/API calls, records are encoded as XML and transmitted to a
+// central collection server, and a data miner analyzes the store to
+// produce predictions and guidance that feed back into the flow — the
+// "METRICS 2.0" loop with no human intervention.
+package metrics
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/ml"
+)
+
+// KV is one named value inside a record.
+type KV struct {
+	Name  string  `xml:"name,attr"`
+	Value float64 `xml:"value,attr"`
+}
+
+// Record is one instrumented tool-step measurement. It is the on-the-
+// wire unit: XML-encoded by the transmitter, decoded by the server.
+type Record struct {
+	XMLName xml.Name  `xml:"record"`
+	Design  string    `xml:"design,attr"`
+	Step    string    `xml:"step,attr"`
+	RunSeed int64     `xml:"seed,attr"`
+	Options []KV      `xml:"option"`
+	Metrics []KV      `xml:"metric"`
+	Series  []float64 `xml:"series>v,omitempty"`
+}
+
+// Option returns a named option value.
+func (r *Record) Option(name string) (float64, bool) { return kvGet(r.Options, name) }
+
+// Metric returns a named metric value.
+func (r *Record) Metric(name string) (float64, bool) { return kvGet(r.Metrics, name) }
+
+func kvGet(kvs []KV, name string) (float64, bool) {
+	for _, kv := range kvs {
+		if kv.Name == name {
+			return kv.Value, true
+		}
+	}
+	return 0, false
+}
+
+// FromStep converts a flow step record into a METRICS record, flattening
+// the option struct into named values (the "common METRICS vocabulary").
+func FromStep(rec flow.StepRecord) Record {
+	out := Record{
+		Design:  rec.Design,
+		Step:    rec.Step,
+		RunSeed: rec.RunSeed,
+		Series:  append([]float64(nil), rec.Series...),
+	}
+	o := rec.Options
+	out.Options = []KV{
+		{"target_freq_ghz", o.TargetFreqGHz},
+		{"synth_effort", float64(o.SynthEffort)},
+		{"utilization", o.Utilization},
+		{"place_moves", float64(o.PlaceMoves)},
+		{"partitions", float64(o.Partitions)},
+		{"tracks_per_edge", o.TracksPerEdge},
+		{"route_effort", float64(o.RouteEffort)},
+		{"derate_pct", o.DeratePct},
+	}
+	names := make([]string, 0, len(rec.Metrics))
+	for k := range rec.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		out.Metrics = append(out.Metrics, KV{k, rec.Metrics[k]})
+	}
+	return out
+}
+
+// EncodeXML marshals a record for transmission.
+func EncodeXML(r Record) ([]byte, error) { return xml.Marshal(r) }
+
+// DecodeXML unmarshals a transmitted record.
+func DecodeXML(data []byte) (Record, error) {
+	var r Record
+	err := xml.Unmarshal(data, &r)
+	return r, err
+}
+
+// Store is the central record repository (the "METRICS server" state).
+// It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends a record.
+func (s *Store) Add(r Record) {
+	s.mu.Lock()
+	s.records = append(s.records, r)
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Filter selects records; zero-valued fields match everything.
+type Filter struct {
+	Design string
+	Step   string
+}
+
+// Query returns matching records (copies of the slice headers; records
+// themselves are treated as immutable).
+func (s *Store) Query(f Filter) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.records {
+		if f.Design != "" && r.Design != f.Design {
+			continue
+		}
+		if f.Step != "" && r.Step != f.Step {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// RunSummary aggregates all step records of one flow run.
+type RunSummary struct {
+	Design        string
+	RunSeed       int64
+	TargetFreqGHz float64
+	AreaUm2       float64
+	WNSPs         float64
+	MaxFreqGHz    float64
+	FinalDRVs     float64
+	HPWLUm        float64
+	OverflowTotal float64
+	TimingMet     bool
+	RouteOK       bool
+	Met           bool
+}
+
+// Summarize groups a store's records into per-run summaries for a
+// design (empty design = all).
+func Summarize(s *Store, design string) []RunSummary {
+	type key struct {
+		design string
+		seed   int64
+	}
+	byRun := map[key]*RunSummary{}
+	var order []key
+	for _, r := range s.Query(Filter{Design: design}) {
+		k := key{r.Design, r.RunSeed}
+		sum, ok := byRun[k]
+		if !ok {
+			sum = &RunSummary{Design: r.Design, RunSeed: r.RunSeed, FinalDRVs: -1}
+			if f, ok := r.Option("target_freq_ghz"); ok {
+				sum.TargetFreqGHz = f
+			}
+			byRun[k] = sum
+			order = append(order, k)
+		}
+		switch r.Step {
+		case "synth":
+			if v, ok := r.Metric("area"); ok {
+				sum.AreaUm2 = v
+			}
+		case "place":
+			if v, ok := r.Metric("hpwl"); ok {
+				sum.HPWLUm = v
+			}
+		case "groute":
+			if v, ok := r.Metric("overflow"); ok {
+				sum.OverflowTotal = v
+			}
+		case "droute":
+			if v, ok := r.Metric("drvs"); ok {
+				sum.FinalDRVs = v
+				sum.RouteOK = v < 200
+			}
+		case "sta":
+			if v, ok := r.Metric("wns"); ok {
+				sum.WNSPs = v
+				sum.TimingMet = v >= 0
+			}
+			if v, ok := r.Metric("maxfreq"); ok {
+				sum.MaxFreqGHz = v
+			}
+		}
+	}
+	var out []RunSummary
+	for _, k := range order {
+		sum := byRun[k]
+		sum.Met = sum.TimingMet && sum.RouteOK
+		out = append(out, *sum)
+	}
+	return out
+}
+
+// Miner is the data-mining component: it turns the store into
+// predictions and flow guidance.
+type Miner struct {
+	Store *Store
+}
+
+// Sensitivity computes the correlation between an option and a metric of
+// a given step across all stored runs — the "sensitivity analyses with
+// respect to final design QOR" of the METRICS validation.
+func (m Miner) Sensitivity(step, option, metric string) (float64, error) {
+	var xs, ys []float64
+	for _, r := range m.Store.Query(Filter{Step: step}) {
+		o, ok1 := r.Option(option)
+		v, ok2 := r.Metric(metric)
+		if ok1 && ok2 {
+			xs = append(xs, o)
+			ys = append(ys, v)
+		}
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("metrics: only %d samples for %s/%s", len(xs), option, metric)
+	}
+	return ml.Pearson(xs, ys), nil
+}
+
+// BestTargetFreq mines the store for the highest target frequency that
+// produced a met run for the design ("prediction of best design-specific
+// tool option settings").
+func (m Miner) BestTargetFreq(design string) (float64, bool) {
+	best, found := 0.0, false
+	for _, sum := range Summarize(m.Store, design) {
+		if sum.Met && sum.TargetFreqGHz > best {
+			best, found = sum.TargetFreqGHz, true
+		}
+	}
+	return best, found
+}
+
+// PrescribeFreqRange predicts the achievable clock frequency band for a
+// design from stored outcomes: a regression of signoff max-frequency on
+// target frequency, evaluated with a guardband — the "prescribe
+// achievable clock frequency for given designs" validation use.
+func (m Miner) PrescribeFreqRange(design string) (loGHz, hiGHz float64, err error) {
+	var x [][]float64
+	var y []float64
+	for _, sum := range Summarize(m.Store, design) {
+		if sum.MaxFreqGHz <= 0 {
+			continue
+		}
+		x = append(x, []float64{sum.TargetFreqGHz})
+		y = append(y, sum.MaxFreqGHz)
+	}
+	if len(x) < 3 {
+		return 0, 0, fmt.Errorf("metrics: not enough runs for %s", design)
+	}
+	reg, err := ml.FitLinear(x, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Predicted achievable frequency at the historical best target.
+	bestTarget := 0.0
+	for _, row := range x {
+		if row[0] > bestTarget {
+			bestTarget = row[0]
+		}
+	}
+	mid := reg.Predict([]float64{bestTarget})
+	spread := ml.StdDev(y)
+	return mid - spread, mid + spread, nil
+}
+
+// Suggest returns improved flow options for the next run of a design:
+// the mined best target frequency nudged upward when slack remains, or
+// the safest known target when recent runs failed. This is the
+// "reimplementation of METRICS should feed predictions and guidance back
+// into the design flow" item.
+func (m Miner) Suggest(design string, prev flow.Options) flow.Options {
+	next := prev
+	sums := Summarize(m.Store, design)
+	if len(sums) == 0 {
+		return next
+	}
+	best, ok := m.BestTargetFreq(design)
+	if !ok {
+		// Nothing met yet: back off.
+		next.TargetFreqGHz = prev.TargetFreqGHz * 0.9
+		next.SynthEffort = 3
+		return next
+	}
+	// Slack-aware nudge: if the best met run still had positive WNS,
+	// push the target a little beyond it.
+	var bestWNS float64
+	for _, sum := range sums {
+		if sum.Met && sum.TargetFreqGHz == best {
+			bestWNS = sum.WNSPs
+		}
+	}
+	next.TargetFreqGHz = best
+	if bestWNS > 0 {
+		period := 1000 / best
+		next.TargetFreqGHz = 1000 / (period - bestWNS*0.5)
+	}
+	return next
+}
+
+// WriteJSON serializes the whole store (for archival — the paper's
+// METRICS data outlives the design sessions that produced it).
+func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return json.NewEncoder(w).Encode(s.records)
+}
+
+// ReadJSON loads records from a previous WriteJSON, appending to the
+// store.
+func (s *Store) ReadJSON(r io.Reader) error {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.records = append(s.records, recs...)
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+func stepRecord(design string, seed int64, step string, opts flow.Options, m map[string]float64) flow.StepRecord {
+	return flow.StepRecord{Design: design, RunSeed: seed, Step: step, Options: opts, Metrics: m}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	rec := FromStep(stepRecord("d", 7, "sta",
+		flow.Options{TargetFreqGHz: 0.8, SynthEffort: 2},
+		map[string]float64{"wns": -12.5, "maxfreq": 0.74}))
+	rec.Series = []float64{3, 2, 1}
+	data, err := EncodeXML(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Design != "d" || got.Step != "sta" || got.RunSeed != 7 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if v, ok := got.Metric("wns"); !ok || v != -12.5 {
+		t.Fatalf("metric lost: %v %v", v, ok)
+	}
+	if v, ok := got.Option("target_freq_ghz"); !ok || v != 0.8 {
+		t.Fatalf("option lost: %v %v", v, ok)
+	}
+	if len(got.Series) != 3 || got.Series[0] != 3 {
+		t.Fatalf("series lost: %v", got.Series)
+	}
+	if _, ok := got.Metric("nope"); ok {
+		t.Fatal("phantom metric")
+	}
+}
+
+func TestStoreQuery(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{Design: "a", Step: "synth"})
+	s.Add(Record{Design: "a", Step: "sta"})
+	s.Add(Record{Design: "b", Step: "sta"})
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if got := len(s.Query(Filter{Design: "a"})); got != 2 {
+		t.Fatalf("design filter got %d", got)
+	}
+	if got := len(s.Query(Filter{Step: "sta"})); got != 2 {
+		t.Fatalf("step filter got %d", got)
+	}
+	if got := len(s.Query(Filter{Design: "b", Step: "sta"})); got != 1 {
+		t.Fatalf("combined filter got %d", got)
+	}
+	if got := len(s.Query(Filter{})); got != 3 {
+		t.Fatalf("open filter got %d", got)
+	}
+}
+
+// fillStore simulates a few flow runs' records.
+func fillStore(s *Store) {
+	for i := 0; i < 6; i++ {
+		seed := int64(i)
+		freq := 0.3 + 0.1*float64(i)
+		opts := flow.Options{TargetFreqGHz: freq}
+		met := freq < 0.6 // runs above 0.6 GHz fail timing
+		wns := 100 - 220*float64(i)*0.2
+		if met {
+			wns = 50
+		} else {
+			wns = -80
+		}
+		area := 400 + 100*freq
+		s.Add(FromStep(stepRecord("core", seed, "synth", opts, map[string]float64{"area": area})))
+		s.Add(FromStep(stepRecord("core", seed, "place", opts, map[string]float64{"hpwl": 900 - 10*float64(i)})))
+		s.Add(FromStep(stepRecord("core", seed, "groute", opts, map[string]float64{"overflow": 3})))
+		s.Add(FromStep(stepRecord("core", seed, "droute", opts, map[string]float64{"drvs": 20})))
+		s.Add(FromStep(stepRecord("core", seed, "sta", opts, map[string]float64{"wns": wns, "maxfreq": 0.62})))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := NewStore()
+	fillStore(s)
+	sums := Summarize(s, "core")
+	if len(sums) != 6 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	for _, sum := range sums {
+		if sum.AreaUm2 <= 0 || sum.FinalDRVs < 0 {
+			t.Fatalf("incomplete summary %+v", sum)
+		}
+		if sum.Met != (sum.TimingMet && sum.RouteOK) {
+			t.Fatal("Met flag inconsistent")
+		}
+	}
+}
+
+func TestMinerBestTargetFreq(t *testing.T) {
+	s := NewStore()
+	fillStore(s)
+	m := Miner{Store: s}
+	best, ok := m.BestTargetFreq("core")
+	if !ok {
+		t.Fatal("no met runs found")
+	}
+	if best < 0.49 || best > 0.6 {
+		t.Fatalf("best target %v, want ~0.5 (last met run)", best)
+	}
+}
+
+func TestMinerSensitivity(t *testing.T) {
+	s := NewStore()
+	fillStore(s)
+	m := Miner{Store: s}
+	corr, err := m.Sensitivity("synth", "target_freq_ghz", "area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.9 {
+		t.Errorf("area grows with target in the fixture; corr = %v", corr)
+	}
+	if _, err := m.Sensitivity("synth", "nonexistent", "area"); err == nil {
+		t.Error("missing option should error")
+	}
+}
+
+func TestMinerPrescribeFreqRange(t *testing.T) {
+	s := NewStore()
+	fillStore(s)
+	m := Miner{Store: s}
+	lo, hi, err := m.PrescribeFreqRange("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi {
+		t.Fatalf("range inverted: %v > %v", lo, hi)
+	}
+	if hi < 0.3 || lo > 1.2 {
+		t.Errorf("prescribed range [%v, %v] implausible", lo, hi)
+	}
+}
+
+func TestMinerSuggest(t *testing.T) {
+	s := NewStore()
+	fillStore(s)
+	m := Miner{Store: s}
+	next := m.Suggest("core", flow.Options{TargetFreqGHz: 0.4})
+	if next.TargetFreqGHz < 0.4 {
+		t.Errorf("with met runs at 0.5 and positive slack, suggestion %v should not regress", next.TargetFreqGHz)
+	}
+	// Unknown design: unchanged.
+	same := m.Suggest("nope", flow.Options{TargetFreqGHz: 0.4})
+	if same.TargetFreqGHz != 0.4 {
+		t.Error("unknown design should leave options unchanged")
+	}
+}
+
+func TestMinerSuggestBacksOffWhenNothingMet(t *testing.T) {
+	s := NewStore()
+	opts := flow.Options{TargetFreqGHz: 1.0}
+	s.Add(FromStep(stepRecord("hard", 1, "sta", opts, map[string]float64{"wns": -200, "maxfreq": 0.5})))
+	s.Add(FromStep(stepRecord("hard", 1, "droute", opts, map[string]float64{"drvs": 5000})))
+	m := Miner{Store: s}
+	next := m.Suggest("hard", opts)
+	if next.TargetFreqGHz >= 1.0 {
+		t.Errorf("all runs failed; suggestion %v should back off", next.TargetFreqGHz)
+	}
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	srv := NewServer(nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tx := NewTransmitter("http://" + addr)
+	design := netlist.Generate(cellib.Default14nm(), netlist.Tiny(1))
+	flow.RunObserved(design, flow.Options{TargetFreqGHz: 0.35, Seed: 1}, tx)
+
+	sent, failed := tx.Counts()
+	if failed != 0 {
+		t.Fatalf("%d transmissions failed", failed)
+	}
+	if sent != 6 {
+		t.Fatalf("sent %d records, want 6 steps", sent)
+	}
+	if srv.Store.Len() != 6 {
+		t.Fatalf("server stored %d", srv.Store.Len())
+	}
+	acc, rej := srv.Received()
+	if acc != 6 || rej != 0 {
+		t.Fatalf("server counters acc=%d rej=%d", acc, rej)
+	}
+
+	// Remote query path.
+	recs, err := QueryRecords("http://"+addr, Filter{Step: "droute"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("queried %d droute records", len(recs))
+	}
+	if len(recs[0].Series) == 0 {
+		t.Error("DRV series lost over the wire")
+	}
+
+	// Mining on the server-side store works end to end.
+	m := Miner{Store: srv.Store}
+	if _, err := m.Sensitivity("sta", "target_freq_ghz", "wns"); err == nil {
+		t.Log("sensitivity available with single run (unexpected but harmless)")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	srv := NewServer(nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tx := NewTransmitter("http://" + addr)
+	// Valid transmit.
+	if err := tx.Transmit(Record{Design: "x", Step: "synth"}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage post.
+	resp, err := tx.Client.Post(tx.URL+"/collect", "application/xml", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 202 {
+		t.Error("empty body should be rejected")
+	}
+	_, rej := srv.Received()
+	if rej == 0 {
+		t.Error("rejection not counted")
+	}
+}
+
+func TestStoreJSONRoundTrip(t *testing.T) {
+	s := NewStore()
+	fillStore(s)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d of %d records", loaded.Len(), s.Len())
+	}
+	// Mining works identically on the restored store.
+	a, _ := Miner{Store: s}.BestTargetFreq("core")
+	b, _ := Miner{Store: loaded}.BestTargetFreq("core")
+	if a != b {
+		t.Fatalf("mining diverged after round trip: %v vs %v", a, b)
+	}
+	if err := loaded.ReadJSON(bytes.NewBufferString("{broken")); err == nil {
+		t.Error("garbage JSON should error")
+	}
+}

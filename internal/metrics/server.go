@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/flow"
+)
+
+// Server is the METRICS collection server: it accepts XML records over
+// HTTP and serves queries — the central box of Fig. 11. (The original
+// used Java servlets and EJB; "reimplementing METRICS with today's
+// commodity networking ... will be much simpler", and it is.)
+type Server struct {
+	Store *Store
+
+	httpSrv  *http.Server
+	listener net.Listener
+	received atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewServer creates a server around a store (a fresh store if nil).
+func NewServer(store *Store) *Server {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Server{Store: store}
+}
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/collect", s.handleCollect)
+	mux.HandleFunc("/records", s.handleRecords)
+	mux.HandleFunc("/stats", s.handleStats)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+// Received reports how many records were accepted and how many rejected.
+func (s *Server) Received() (accepted, rejected int64) {
+	return s.received.Load(), s.rejected.Load()
+}
+
+func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.rejected.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rec, err := DecodeXML(body)
+	if err != nil {
+		s.rejected.Add(1)
+		http.Error(w, fmt.Sprintf("bad record: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.Store.Add(rec)
+	s.received.Add(1)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// recordList wraps query results for XML responses.
+type recordList struct {
+	XMLName xml.Name `xml:"records"`
+	Records []Record `xml:"record"`
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	f := Filter{
+		Design: r.URL.Query().Get("design"),
+		Step:   r.URL.Query().Get("step"),
+	}
+	out, err := xml.Marshal(recordList{Records: s.Store.Query(f)})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(out) //nolint:errcheck
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	acc, rej := s.Received()
+	fmt.Fprintf(w, "records=%d accepted=%d rejected=%d\n", s.Store.Len(), acc, rej)
+}
+
+// Transmitter posts records to a METRICS server as XML over HTTP — the
+// wrapper/API side of Fig. 11. It implements flow.Observer so a flow can
+// be instrumented by passing it to flow.RunObserved.
+type Transmitter struct {
+	URL    string // e.g. "http://127.0.0.1:port"
+	Client *http.Client
+
+	sent   atomic.Int64
+	failed atomic.Int64
+}
+
+// NewTransmitter creates a transmitter for a server base URL.
+func NewTransmitter(baseURL string) *Transmitter {
+	return &Transmitter{URL: baseURL, Client: &http.Client{}}
+}
+
+// Transmit sends one record.
+func (t *Transmitter) Transmit(rec Record) error {
+	data, err := EncodeXML(rec)
+	if err != nil {
+		t.failed.Add(1)
+		return err
+	}
+	resp, err := t.Client.Post(t.URL+"/collect", "application/xml", bytes.NewReader(data))
+	if err != nil {
+		t.failed.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusAccepted {
+		t.failed.Add(1)
+		return fmt.Errorf("metrics: server returned %s", resp.Status)
+	}
+	t.sent.Add(1)
+	return nil
+}
+
+// OnStep implements flow.Observer: each step record is converted and
+// transmitted; failures are counted, not fatal (collection must never
+// break the flow).
+func (t *Transmitter) OnStep(rec flow.StepRecord) {
+	t.Transmit(FromStep(rec)) //nolint:errcheck
+}
+
+// Counts reports transmitted and failed record counts.
+func (t *Transmitter) Counts() (sent, failed int64) {
+	return t.sent.Load(), t.failed.Load()
+}
+
+// QueryRecords fetches records from a server over HTTP.
+func QueryRecords(baseURL string, f Filter) ([]Record, error) {
+	url := fmt.Sprintf("%s/records?design=%s&step=%s", baseURL, f.Design, f.Step)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var list recordList
+	if err := xml.Unmarshal(body, &list); err != nil {
+		return nil, err
+	}
+	return list.Records, nil
+}

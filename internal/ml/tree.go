@@ -1,0 +1,177 @@
+package ml
+
+import "sort"
+
+// Tree is a binary CART classifier over float features with integer
+// class labels. Used for doomed-run prediction baselines and option
+// sensitivity mining.
+type Tree struct {
+	MaxDepth    int
+	MinLeafSize int
+	root        *treeNode
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	class     int
+	leaf      bool
+}
+
+// FitTree builds a classification tree with Gini impurity splits.
+func FitTree(x [][]float64, y []int, maxDepth, minLeafSize int) *Tree {
+	if maxDepth < 1 {
+		maxDepth = 4
+	}
+	if minLeafSize < 1 {
+		minLeafSize = 2
+	}
+	t := &Tree{MaxDepth: maxDepth, MinLeafSize: minLeafSize}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(x, y, idx, 0)
+	return t
+}
+
+func majority(y []int, idx []int) int {
+	counts := map[int]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestN := 0, -1
+	// Deterministic tie-break: smallest class wins.
+	classes := make([]int, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		if counts[c] > bestN {
+			best, bestN = c, counts[c]
+		}
+	}
+	return best
+}
+
+func gini(y []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	g := 1.0
+	n := float64(len(idx))
+	for _, c := range counts {
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+func (t *Tree) build(x [][]float64, y []int, idx []int, depth int) *treeNode {
+	node := &treeNode{leaf: true, class: majority(y, idx)}
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeafSize || gini(y, idx) == 0 {
+		return node
+	}
+	d := len(x[idx[0]])
+	bestGain := 1e-9
+	bestFeat, bestThr := -1, 0.0
+	parent := gini(y, idx)
+	for f := 0; f < d; f++ {
+		// Candidate thresholds: midpoints of sorted unique values.
+		vals := make([]float64, len(idx))
+		for i, id := range idx {
+			vals[i] = x[id][f]
+		}
+		sort.Float64s(vals)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] == vals[i-1] {
+				continue
+			}
+			thr := (vals[i] + vals[i-1]) / 2
+			var l, r []int
+			for _, id := range idx {
+				if x[id][f] <= thr {
+					l = append(l, id)
+				} else {
+					r = append(r, id)
+				}
+			}
+			if len(l) < t.MinLeafSize || len(r) < t.MinLeafSize {
+				continue
+			}
+			n := float64(len(idx))
+			gain := parent - float64(len(l))/n*gini(y, l) - float64(len(r))/n*gini(y, r)
+			if gain > bestGain {
+				bestGain, bestFeat, bestThr = gain, f, thr
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var l, r []int
+	for _, id := range idx {
+		if x[id][bestFeat] <= bestThr {
+			l = append(l, id)
+		} else {
+			r = append(r, id)
+		}
+	}
+	node.leaf = false
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = t.build(x, y, l, depth+1)
+	node.right = t.build(x, y, r, depth+1)
+	return node
+}
+
+// Predict classifies one sample.
+func (t *Tree) Predict(sample []float64) int {
+	n := t.root
+	for n != nil && !n.leaf {
+		if n.feature < len(sample) && sample[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0
+	}
+	return n.class
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (t *Tree) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range x {
+		if t.Predict(x[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(x))
+}
+
+// Depth returns the tree's realized depth.
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,173 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cellib"
+)
+
+func TestAddInstanceAndNet(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := Generate(lib, Tiny(1))
+	before := n.NumCells()
+	id := n.AddInstance(lib.Smallest(cellib.Nand2), "")
+	if id != before {
+		t.Fatalf("new instance id %d, want %d", id, before)
+	}
+	if got := len(n.FaninNet[id]); got != 2 {
+		t.Fatalf("nand2 fanin slots %d", got)
+	}
+	for _, f := range n.FaninNet[id] {
+		if f != -1 {
+			t.Fatal("new instance pins must be unconnected")
+		}
+	}
+	if n.FanoutNet[id] != -1 {
+		t.Fatal("new instance output must be unconnected")
+	}
+	named := n.AddInstance(lib.Smallest(cellib.Inverter), "myinv")
+	if n.Insts[named].Name != "myinv" {
+		t.Fatal("explicit name not kept")
+	}
+	netID := n.AddNet(id, "")
+	if n.FanoutNet[id] != netID || n.Nets[netID].Driver != id {
+		t.Fatal("AddNet driver wiring broken")
+	}
+	pi := n.AddNet(-1, "extern")
+	if n.Nets[pi].Driver != -1 || n.Nets[pi].Name != "extern" {
+		t.Fatal("primary-input net broken")
+	}
+}
+
+func TestConnectMovesPinBetweenNets(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := Generate(lib, Tiny(2))
+	inst := n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	a := n.AddNet(-1, "a")
+	b := n.AddNet(-1, "b")
+	n.Connect(a, inst, 0)
+	if n.FaninNet[inst][0] != a || len(n.Nets[a].Sinks) != 1 {
+		t.Fatal("first connect failed")
+	}
+	// Reconnecting the same pin must detach from the old net.
+	n.Connect(b, inst, 0)
+	if n.FaninNet[inst][0] != b {
+		t.Fatal("reconnect did not move pin")
+	}
+	if len(n.Nets[a].Sinks) != 0 {
+		t.Fatal("old net still holds the sink")
+	}
+	if len(n.Nets[b].Sinks) != 1 {
+		t.Fatal("new net missing the sink")
+	}
+	if err := n.Relevel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after reconnect: %v", err)
+	}
+}
+
+func TestInsertBufferSplitsNet(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := Generate(lib, Tiny(3))
+	// Find a multi-sink net.
+	netID := -1
+	for i := range n.Nets {
+		if !n.Nets[i].IsClock && n.Nets[i].Driver >= 0 && len(n.Nets[i].Sinks) >= 2 {
+			netID = i
+			break
+		}
+	}
+	if netID < 0 {
+		t.Skip("no multi-sink net in tiny design")
+	}
+	moved := append([]PinRef(nil), n.Nets[netID].Sinks[:1]...)
+	sinksBefore := len(n.Nets[netID].Sinks)
+	buf := n.InsertBuffer(netID, moved, lib.Smallest(cellib.Buffer))
+	if err := n.Relevel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after buffering: %v", err)
+	}
+	// Original net: lost the moved sink, gained the buffer input.
+	if got := len(n.Nets[netID].Sinks); got != sinksBefore {
+		t.Fatalf("original net has %d sinks, want %d (one moved out, buffer in)", got, sinksBefore)
+	}
+	out := n.FanoutNet[buf]
+	if out < 0 || len(n.Nets[out].Sinks) != 1 {
+		t.Fatal("buffer output net malformed")
+	}
+	if n.Nets[out].Sinks[0] != moved[0] {
+		t.Fatal("moved sink not behind buffer")
+	}
+	// Buffer sits at the moved sink's location (centroid of one).
+	if n.Insts[buf].X != n.Insts[moved[0].Inst].X {
+		t.Error("buffer not at sink centroid")
+	}
+}
+
+func TestRelevelAfterEdits(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := Generate(lib, Tiny(4))
+	// Chain two new inverters off an existing net, then relevel.
+	src := n.FanoutNet[n.Sequential()[0]]
+	a := n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	n.Connect(src, a, 0)
+	an := n.AddNet(a, "")
+	b := n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	n.Connect(an, b, 0)
+	n.AddNet(b, "")
+	if err := n.Relevel(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Insts[a].Level < 1 || n.Insts[b].Level != n.Insts[a].Level+1 {
+		t.Fatalf("levels a=%d b=%d", n.Insts[a].Level, n.Insts[b].Level)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelevelDetectsCycle(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := &Netlist{Name: "cyc", Lib: lib, ClockNet: -1, ClockPeriodPs: 1000}
+	a := n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	b := n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	an := n.AddNet(a, "")
+	bn := n.AddNet(b, "")
+	n.Connect(an, b, 0)
+	n.Connect(bn, a, 0) // a -> b -> a
+	if err := n.Relevel(); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+func TestRelevelIgnoresSequentialLoops(t *testing.T) {
+	lib := cellib.Default14nm()
+	n := &Netlist{Name: "ffloop", Lib: lib, ClockNet: -1, ClockPeriodPs: 1000}
+	ff := n.AddInstance(lib.Smallest(cellib.DFF), "")
+	inv := n.AddInstance(lib.Smallest(cellib.Inverter), "")
+	q := n.AddNet(ff, "")
+	n.Connect(q, inv, 0)
+	iq := n.AddNet(inv, "")
+	n.Connect(iq, ff, 0) // ff -> inv -> ff: legal through the register
+	if err := n.Relevel(); err != nil {
+		t.Fatalf("register loop flagged as cycle: %v", err)
+	}
+	if n.Insts[ff].Level != 0 || n.Insts[inv].Level != 1 {
+		t.Fatalf("levels ff=%d inv=%d", n.Insts[ff].Level, n.Insts[inv].Level)
+	}
+}
+
+func TestEmbeddedCPUSpec(t *testing.T) {
+	n := Generate(cellib.Default14nm(), EmbeddedCPU(1))
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.ComputeStats()
+	if s.Cells < 2000 {
+		t.Errorf("embedded CPU proxy too small: %d cells", s.Cells)
+	}
+}

@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+)
+
+// TestBisectInvariantsQuick: for arbitrary seeds, the bisection is a
+// full assignment with bounded imbalance and a cut no worse than the
+// trivial all-nets bound.
+func TestBisectInvariantsQuick(t *testing.T) {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(3))
+	totalNets := 0
+	for i := range n.Nets {
+		if !n.Nets[i].IsClock {
+			totalNets++
+		}
+	}
+	f := func(seed int64) bool {
+		bp := Bisect(n, nil, seed)
+		if bp.Sizes[0]+bp.Sizes[1] != n.NumCells() {
+			return false
+		}
+		diff := bp.Sizes[0] - bp.Sizes[1]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > n.NumCells()/3 {
+			return false
+		}
+		return bp.CutNets >= 0 && bp.CutNets <= totalNets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

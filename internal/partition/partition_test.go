@@ -1,0 +1,187 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+)
+
+func design(seed int64) *netlist.Netlist {
+	return netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+}
+
+func TestBisectBalanced(t *testing.T) {
+	n := design(1)
+	bp := Bisect(n, nil, 1)
+	total := bp.Sizes[0] + bp.Sizes[1]
+	if total != n.NumCells() {
+		t.Fatalf("sides cover %d of %d cells", total, n.NumCells())
+	}
+	diff := bp.Sizes[0] - bp.Sizes[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > n.NumCells()/4 {
+		t.Errorf("unbalanced split: %v", bp.Sizes)
+	}
+	for i, s := range bp.Side {
+		if s != 0 && s != 1 {
+			t.Fatalf("inst %d unassigned (side %d)", i, s)
+		}
+	}
+}
+
+func TestBisectBeatsRandomCut(t *testing.T) {
+	n := design(2)
+	bp := Bisect(n, nil, 1)
+	// Compare against the average random balanced cut.
+	rng := rand.New(rand.NewSource(99))
+	randomCut := 0
+	const trials = 10
+	for tr := 0; tr < trials; tr++ {
+		side := make([]int, n.NumCells())
+		perm := rng.Perm(n.NumCells())
+		for i, p := range perm {
+			if i < n.NumCells()/2 {
+				side[p] = 0
+			}
+			if i >= n.NumCells()/2 {
+				side[p] = 1
+			}
+		}
+		cut := 0
+		for i := range n.Nets {
+			net := &n.Nets[i]
+			if net.IsClock || net.Driver < 0 {
+				continue
+			}
+			s0 := side[net.Driver]
+			for _, snk := range net.Sinks {
+				if side[snk.Inst] != s0 {
+					cut++
+					break
+				}
+			}
+		}
+		randomCut += cut
+	}
+	if float64(bp.CutNets) > 0.8*float64(randomCut)/trials {
+		t.Errorf("FM cut %d not clearly below random mean %d", bp.CutNets, randomCut/trials)
+	}
+}
+
+func TestBisectScope(t *testing.T) {
+	n := design(3)
+	scope := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	bp := Bisect(n, scope, 1)
+	inScope := map[int]bool{}
+	for _, i := range scope {
+		inScope[i] = true
+	}
+	for i, s := range bp.Side {
+		if inScope[i] && s == -1 {
+			t.Fatalf("scoped inst %d unassigned", i)
+		}
+		if !inScope[i] && s != -1 {
+			t.Fatalf("out-of-scope inst %d assigned side %d", i, s)
+		}
+	}
+	if bp.Sizes[0]+bp.Sizes[1] != len(scope) {
+		t.Fatal("scope sizes wrong")
+	}
+}
+
+func TestBisectDeterministic(t *testing.T) {
+	n := design(4)
+	a := Bisect(n, nil, 7)
+	b := Bisect(n, nil, 7)
+	if a.CutNets != b.CutNets {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestBisectEmptyScope(t *testing.T) {
+	n := design(5)
+	bp := Bisect(n, []int{}, 1)
+	if bp.CutNets != 0 || bp.Sizes[0] != 0 {
+		t.Fatalf("empty scope: %+v", bp)
+	}
+}
+
+func TestRentExponentRange(t *testing.T) {
+	n := design(6)
+	r := Rent(n, 3, 1)
+	if r.Exponent <= 0 || r.Exponent >= 1.2 {
+		t.Fatalf("Rent exponent %v outside plausible range", r.Exponent)
+	}
+	if r.K <= 0 {
+		t.Fatalf("Rent coefficient %v", r.K)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	if r.R2 < 0.5 {
+		t.Errorf("log-log fit R2 %v very poor", r.R2)
+	}
+}
+
+func TestRentTracksLocality(t *testing.T) {
+	// The generator's locality knob is a Rent-exponent proxy: more
+	// local designs must measure a lower Rent exponent. This closes
+	// the loop between the synthetic generator and the structural
+	// analysis (ML application (ii) of the paper's Sec. 3.3).
+	lib := cellib.Default14nm()
+	mk := func(locality float64) *netlist.Netlist {
+		return netlist.Generate(lib, netlist.Spec{
+			Name: "rent", Seed: 5, NumComb: 600, NumFFs: 60, Levels: 10,
+			Locality: locality, NumPIs: 16, ClockPeriodPs: 1000,
+		})
+	}
+	local := Rent(mk(0.95), 3, 1)
+	global := Rent(mk(0.1), 3, 1)
+	if local.Exponent >= global.Exponent {
+		t.Errorf("local design Rent %v should be below global %v", local.Exponent, global.Exponent)
+	}
+}
+
+func TestExternalNetsCounts(t *testing.T) {
+	n := design(7)
+	all := allCells(n)
+	// The whole design's "external" nets are those touching PIs/POs.
+	ext := externalNets(n, all)
+	if ext <= 0 {
+		t.Fatal("whole-design external nets should count PI/PO connections")
+	}
+	// A single cell's external nets = its connected non-clock nets.
+	single := externalNets(n, []int{20})
+	degree := 0
+	for _, f := range n.FaninNet[20] {
+		if f >= 0 && !n.Nets[f].IsClock {
+			degree++
+		}
+	}
+	if out := n.FanoutNet[20]; out >= 0 && len(n.Nets[out].Sinks) > 0 {
+		degree++
+	}
+	if single > degree {
+		t.Errorf("single-cell external nets %d exceed degree %d", single, degree)
+	}
+}
+
+func BenchmarkBisect(b *testing.B) {
+	n := design(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bisect(n, nil, int64(i))
+	}
+}
+
+func BenchmarkRent(b *testing.B) {
+	n := design(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rent(n, 3, int64(i))
+	}
+}

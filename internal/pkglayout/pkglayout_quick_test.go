@@ -1,0 +1,36 @@
+package pkglayout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRobotAlwaysCrossingFreeQuick: the order-preserving assignment is
+// crossing-free for distributed escape pads (the physical layout: I/O
+// sites spread around the die edge with placement jitter). Tightly
+// bunched escapes fanning to a full ring can force crossings in every
+// rotation — real packages use multi-layer redistribution there.
+func TestRobotAlwaysCrossingFreeQuick(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := 2 + int(nRaw%16)
+		m := n + int(extraRaw%8)
+		rng := rand.New(rand.NewSource(seed))
+		sigs := make([]Signal, n)
+		for i := range sigs {
+			base := 2 * math.Pi * float64(i) / float64(n)
+			jitter := (rng.Float64() - 0.5) * 2 * math.Pi / float64(2*n)
+			sigs[i] = Signal{Angle: base + jitter, R: 10} // distributed die-edge pads
+		}
+		balls := Ring(m, 25)
+		a := Robot(sigs, balls)
+		if a == nil || !Valid(a, m) {
+			return false
+		}
+		return Crossings(sigs, balls, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package place implements simulated-annealing standard-cell placement.
+//
+// Placement is a substrate for the paper's experiments in two ways: its
+// result drives routing congestion (and therefore the DRV convergence
+// behaviour of Fig. 9), and its annealing cost landscape exhibits the
+// "big valley" structure that adaptive multistart (Fig. 6(b)) and
+// go-with-the-winners (Fig. 6(a)) exploit. A partitioned mode supports
+// the "many more small subproblems" ablation of Fig. 4(b).
+package place
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Options are the placer knobs.
+type Options struct {
+	Seed        int64
+	Moves       int     // total SA moves (default 120 * numCells)
+	Utilization float64 // die utilization (default 0.6)
+	Partitions  int     // 1 = flat; k means k x k independent regions
+	// StartTemp overrides the sampled initial temperature (0 = auto).
+	StartTemp float64
+}
+
+func (o Options) withDefaults(numCells int) Options {
+	if o.Moves <= 0 {
+		o.Moves = 120 * numCells
+	}
+	if o.Utilization <= 0 {
+		o.Utilization = 0.6
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 1
+	}
+	return o
+}
+
+// Result reports placement quality and effort.
+type Result struct {
+	HPWLUm        float64
+	InitialHPWLUm float64
+	Width, Height float64
+	MovesTried    int
+	MovesAccepted int
+	// RuntimeProxy counts cost-function evaluations, a deterministic
+	// stand-in for wall-clock TAT in the experiments.
+	RuntimeProxy int
+	// ParallelRuntimeProxy is the TAT assuming each partition region
+	// anneals on its own machine (the Fig. 4(b) "many more small
+	// subproblems" payoff); equals RuntimeProxy for flat placement.
+	ParallelRuntimeProxy int
+}
+
+// grid is the slot structure used during annealing.
+type grid struct {
+	cols, rows int
+	cellW      float64
+	rowH       float64
+	slotOf     []int // inst -> slot
+	instAt     []int // slot -> inst or -1
+}
+
+func (g *grid) coords(slot int) (x, y float64) {
+	r, c := slot/g.cols, slot%g.cols
+	return (float64(c) + 0.5) * g.cellW, (float64(r) + 0.5) * g.rowH
+}
+
+// Place runs simulated annealing on the netlist, mutating instance
+// coordinates, and returns quality metrics.
+func Place(n *netlist.Netlist, opts Options) Result {
+	opts = opts.withDefaults(n.NumCells())
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	w, h := netlist.DieSize(n, opts.Utilization)
+	g := buildGrid(n, w, h, rng)
+	res := Result{Width: w, Height: h}
+
+	// Incidence: nets touching each instance (excluding clock).
+	netsOf := make([][]int, n.NumCells())
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.IsClock {
+			continue
+		}
+		if net.Driver >= 0 {
+			netsOf[net.Driver] = append(netsOf[net.Driver], i)
+		}
+		for _, s := range net.Sinks {
+			netsOf[s.Inst] = append(netsOf[s.Inst], i)
+		}
+	}
+	for i := range netsOf {
+		netsOf[i] = dedupe(netsOf[i])
+	}
+
+	applyCoords(n, g)
+	res.InitialHPWLUm = n.TotalHPWL()
+
+	// Partitioned mode runs a flat coarse pass first (global
+	// optimization places connected cells near each other), then locks
+	// each instance into the region it landed in and refines within
+	// regions only — the "RTL partition and floorplan co-optimization"
+	// shape of Fig. 4(b), where the small subproblems can be solved in
+	// parallel. part is assigned after the coarse phase.
+	part := make([]int, n.NumCells())
+	assignPartitions := func() {
+		for inst := range part {
+			x, y := g.coords(g.slotOf[inst])
+			px := clamp(int(x/w*float64(opts.Partitions)), 0, opts.Partitions-1)
+			py := clamp(int(y/h*float64(opts.Partitions)), 0, opts.Partitions-1)
+			part[inst] = py*opts.Partitions + px
+		}
+	}
+	regionOfSlot := func(slot int) int {
+		if opts.Partitions <= 1 {
+			return 0
+		}
+		x, y := g.coords(slot)
+		px := clamp(int(x/w*float64(opts.Partitions)), 0, opts.Partitions-1)
+		py := clamp(int(y/h*float64(opts.Partitions)), 0, opts.Partitions-1)
+		return py*opts.Partitions + px
+	}
+
+	// netHPWL evaluates one net's HPWL from grid coordinates.
+	netHPWL := func(netID int) float64 {
+		net := &n.Nets[netID]
+		first := true
+		var minX, maxX, minY, maxY float64
+		add := func(inst int) {
+			x, y := g.coords(g.slotOf[inst])
+			if first {
+				minX, maxX, minY, maxY = x, x, y, y
+				first = false
+				return
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+		if net.Driver >= 0 {
+			add(net.Driver)
+		}
+		for _, s := range net.Sinks {
+			add(s.Inst)
+		}
+		if first {
+			return 0
+		}
+		return (maxX - minX) + (maxY - minY)
+	}
+
+	// moveDelta computes the HPWL change of swapping inst into slot
+	// (with whatever occupies it). A stamp array dedupes the affected
+	// nets without per-move allocation.
+	affected := make([]int, 0, 16)
+	stamp := make([]int, len(n.Nets))
+	stampGen := 0
+	moveDelta := func(inst, slot int) float64 {
+		other := g.instAt[slot]
+		stampGen++
+		affected = affected[:0]
+		for _, nid := range netsOf[inst] {
+			if stamp[nid] != stampGen {
+				stamp[nid] = stampGen
+				affected = append(affected, nid)
+			}
+		}
+		if other >= 0 {
+			for _, nid := range netsOf[other] {
+				if stamp[nid] != stampGen {
+					stamp[nid] = stampGen
+					affected = append(affected, nid)
+				}
+			}
+		}
+		var before float64
+		for _, nid := range affected {
+			before += netHPWL(nid)
+		}
+		oldSlot := g.slotOf[inst]
+		swap(g, inst, slot)
+		var after float64
+		for _, nid := range affected {
+			after += netHPWL(nid)
+		}
+		swap(g, inst, oldSlot) // undo: inst home, displaced occupant back
+		res.RuntimeProxy += 2 * len(affected)
+		return after - before
+	}
+
+	// Initial temperature: mean |delta| of random moves.
+	temp := opts.StartTemp
+	if temp <= 0 {
+		var sum float64
+		const samples = 64
+		for i := 0; i < samples; i++ {
+			inst := rng.Intn(n.NumCells())
+			slot := rng.Intn(len(g.instAt))
+			sum += math.Abs(moveDelta(inst, slot))
+		}
+		temp = sum/samples + 1e-9
+	}
+	final := temp / 2000
+	cool := math.Pow(final/temp, 1/float64(opts.Moves))
+
+	numSlots := len(g.instAt)
+	coarseMoves := 0
+	if opts.Partitions > 1 {
+		coarseMoves = opts.Moves / 4
+	}
+	coarseProxy := 0
+	partitioned := false
+	for m := 0; m < opts.Moves; m++ {
+		if opts.Partitions > 1 && !partitioned && m >= coarseMoves {
+			assignPartitions()
+			partitioned = true
+			coarseProxy = res.RuntimeProxy
+		}
+		inst := rng.Intn(n.NumCells())
+		slot := rng.Intn(numSlots)
+		if slot == g.slotOf[inst] {
+			temp *= cool
+			continue
+		}
+		if partitioned && regionOfSlot(slot) != part[inst] {
+			temp *= cool
+			continue
+		}
+		res.MovesTried++
+		delta := moveDelta(inst, slot)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			swap(g, inst, slot)
+			res.MovesAccepted++
+		}
+		temp *= cool
+	}
+
+	applyCoords(n, g)
+	res.HPWLUm = n.TotalHPWL()
+	res.ParallelRuntimeProxy = res.RuntimeProxy
+	if opts.Partitions > 1 {
+		regions := opts.Partitions * opts.Partitions
+		res.ParallelRuntimeProxy = coarseProxy + (res.RuntimeProxy-coarseProxy)/regions
+	}
+	return res
+}
+
+// buildGrid creates the slot grid sized for the die and scatters the
+// instances into it (random permutation so different seeds explore
+// different basins).
+func buildGrid(n *netlist.Netlist, w, h float64, rng *rand.Rand) *grid {
+	numCells := n.NumCells()
+	rowH := n.Lib.RowPitch
+	if rowH <= 0 {
+		rowH = 1
+	}
+	rows := int(h/rowH) + 1
+	// Enough columns for all cells plus ~30% whitespace.
+	cols := int(math.Ceil(float64(numCells) * 1.3 / float64(rows)))
+	if cols < 1 {
+		cols = 1
+	}
+	g := &grid{
+		cols:   cols,
+		rows:   rows,
+		cellW:  w / float64(cols),
+		rowH:   h / float64(rows),
+		slotOf: make([]int, numCells),
+		instAt: make([]int, cols*rows),
+	}
+	for i := range g.instAt {
+		g.instAt[i] = -1
+	}
+	perm := rng.Perm(cols * rows)
+	for inst := 0; inst < numCells; inst++ {
+		slot := perm[inst]
+		g.slotOf[inst] = slot
+		g.instAt[slot] = inst
+	}
+	return g
+}
+
+// swap moves inst into slot, exchanging with any occupant.
+func swap(g *grid, inst, slot int) {
+	old := g.slotOf[inst]
+	other := g.instAt[slot]
+	g.instAt[old] = other
+	if other >= 0 {
+		g.slotOf[other] = old
+	}
+	g.instAt[slot] = inst
+	g.slotOf[inst] = slot
+}
+
+// applyCoords writes grid slot coordinates back to the netlist.
+func applyCoords(n *netlist.Netlist, g *grid) {
+	for inst := range g.slotOf {
+		x, y := g.coords(g.slotOf[inst])
+		n.Insts[inst].X = x
+		n.Insts[inst].Y = y
+	}
+}
+
+// Snapshot captures instance coordinates so multistart/GWTW can save and
+// restore placements.
+func Snapshot(n *netlist.Netlist) []float64 {
+	s := make([]float64, 2*n.NumCells())
+	for i := range n.Insts {
+		s[2*i], s[2*i+1] = n.Insts[i].X, n.Insts[i].Y
+	}
+	return s
+}
+
+// Restore writes a snapshot back.
+func Restore(n *netlist.Netlist, s []float64) {
+	for i := range n.Insts {
+		n.Insts[i].X, n.Insts[i].Y = s[2*i], s[2*i+1]
+	}
+}
+
+// Distance returns the average per-cell Manhattan distance between two
+// placements — the solution-space metric for big-valley analysis.
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var d float64
+	for i := 0; i < len(a); i += 2 {
+		d += math.Abs(a[i]-b[i]) + math.Abs(a[i+1]-b[i+1])
+	}
+	return d / float64(len(a)/2)
+}
+
+func dedupe(xs []int) []int {
+	seen := make(map[int]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, ok := seen[x]; ok {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,149 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/sta"
+)
+
+func placed(seed int64) *netlist.Netlist {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+	place.Place(n, place.Options{Seed: seed, Moves: 5000})
+	return n
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	n := placed(1)
+	r := Analyze(n, Options{})
+	if r.TotalLeakageNW <= 0 || r.TotalDynamicNW <= 0 {
+		t.Fatalf("power components missing: %+v", r)
+	}
+	if math.Abs(r.TotalNW-(r.TotalDynamicNW+r.TotalLeakageNW)) > 1e-9 {
+		t.Fatal("total power inconsistent")
+	}
+	if math.Abs(r.TotalLeakageNW-n.Leakage()) > 1e-6 {
+		t.Fatalf("leakage %v != netlist %v", r.TotalLeakageNW, n.Leakage())
+	}
+	var density float64
+	for _, d := range r.DensityNW {
+		if d < 0 {
+			t.Fatal("negative density")
+		}
+		density += d
+	}
+	if math.Abs(density-r.TotalNW) > 1e-6 {
+		t.Fatalf("density map sums to %v, total %v", density, r.TotalNW)
+	}
+}
+
+func TestDroopProperties(t *testing.T) {
+	n := placed(2)
+	r := Analyze(n, Options{})
+	if len(r.DroopMV) != r.GridDim*r.GridDim {
+		t.Fatal("droop map sized wrong")
+	}
+	var worst float64
+	for _, d := range r.DroopMV {
+		if d < 0 {
+			t.Fatal("negative droop")
+		}
+		worst = math.Max(worst, d)
+	}
+	if worst != r.WorstDroopMV {
+		t.Fatalf("worst droop %v != max %v", r.WorstDroopMV, worst)
+	}
+	if r.AvgDroopMV > r.WorstDroopMV {
+		t.Fatal("avg above worst")
+	}
+	// Pads (boundary) have zero droop.
+	dim := r.GridDim
+	for x := 0; x < dim; x++ {
+		if r.DroopMV[x] != 0 || r.DroopMV[(dim-1)*dim+x] != 0 {
+			t.Fatal("boundary pad has droop")
+		}
+	}
+}
+
+func TestCenterDroopsMostOnUniformLoad(t *testing.T) {
+	n := placed(3)
+	r := Analyze(n, Options{})
+	dim := r.GridDim
+	center := r.DroopMV[(dim/2)*dim+dim/2]
+	edgeAdj := r.DroopMV[1*dim+1]
+	if center < edgeAdj {
+		t.Errorf("center droop %v should exceed near-pad droop %v", center, edgeAdj)
+	}
+}
+
+func TestMorePowerMoreDroop(t *testing.T) {
+	n := placed(4)
+	low := Analyze(n, Options{ClockFreqGHz: 0.2})
+	high := Analyze(n, Options{ClockFreqGHz: 2.0})
+	if high.TotalDynamicNW <= low.TotalDynamicNW {
+		t.Fatal("dynamic power should scale with frequency")
+	}
+	if high.WorstDroopMV <= low.WorstDroopMV {
+		t.Errorf("droop should grow with power: %v vs %v", high.WorstDroopMV, low.WorstDroopMV)
+	}
+}
+
+func TestResistanceScalesDroop(t *testing.T) {
+	n := placed(5)
+	stiff := Analyze(n, Options{SegResistOhm: 0.1})
+	weak := Analyze(n, Options{SegResistOhm: 2.0})
+	if weak.WorstDroopMV <= stiff.WorstDroopMV {
+		t.Errorf("weaker grid should droop more: %v vs %v", weak.WorstDroopMV, stiff.WorstDroopMV)
+	}
+}
+
+func TestInstDroopAssigned(t *testing.T) {
+	n := placed(6)
+	r := Analyze(n, Options{})
+	if len(r.InstDroopMV) != n.NumCells() {
+		t.Fatal("per-instance droop missing")
+	}
+	for _, d := range r.InstDroopMV {
+		if d < 0 || d > r.WorstDroopMV+1e-9 {
+			t.Fatalf("instance droop %v out of range", d)
+		}
+	}
+}
+
+func TestTimingDerateMultiphysics(t *testing.T) {
+	// The paper's multiphysics loop: droop -> per-instance derate ->
+	// slower timing. WNS with the droop derate must not improve.
+	n := placed(7)
+	r := Analyze(n, Options{ClockFreqGHz: 3, ActivityFactor: 0.5})
+	derate := r.TimingDerate(0.8)
+	for _, m := range derate {
+		if m < 1 {
+			t.Fatalf("derate %v below 1", m)
+		}
+	}
+	base := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	droopAware := sta.Analyze(n, sta.Config{Engine: sta.Signoff, InstDerate: derate})
+	if droopAware.WNSPs > base.WNSPs {
+		t.Errorf("droop-aware WNS %v better than nominal %v", droopAware.WNSPs, base.WNSPs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	n := placed(8)
+	a := Analyze(n, Options{})
+	b := Analyze(n, Options{})
+	if a.WorstDroopMV != b.WorstDroopMV || a.TotalNW != b.TotalNW {
+		t.Fatal("analysis not deterministic")
+	}
+}
+
+func BenchmarkAnalyzePower(b *testing.B) {
+	n := placed(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(n, Options{})
+	}
+}

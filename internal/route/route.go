@@ -1,0 +1,290 @@
+// Package route implements global routing (congestion-aware pattern
+// routing on a coarse grid) and a detailed-routing convergence simulator.
+//
+// The detailed router is the centerpiece substrate for the paper's
+// doomed-run experiments (Figs. 9-10 and the consecutive-STOP error
+// table): commercial detailed routers default to 20-40 rip-up-and-reroute
+// iterations, and the per-iteration design-rule-violation (DRV) count is
+// the time series the MDP/HMM detectors consume. Here the DRV dynamics
+// are driven mechanistically by the global-routing congestion margin: a
+// run whose residual congestion is high converges to a large DRV floor
+// (doomed), a comfortable run decays geometrically to ~zero (success),
+// with multiplicative noise — reproducing the four qualitative shapes of
+// Fig. 9.
+package route
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// SuccessDRVThreshold is the paper's success criterion: a detailed
+// routing run "succeeds" if it ends with fewer than 200 DRVs (the rest
+// being manually fixable).
+const SuccessDRVThreshold = 200
+
+// GlobalOptions parameterize global routing.
+type GlobalOptions struct {
+	GridDim       int     // routing grid is GridDim x GridDim (default 24)
+	TracksPerEdge float64 // capacity per grid edge (default 28)
+	Seed          int64
+}
+
+func (o GlobalOptions) withDefaults() GlobalOptions {
+	if o.GridDim <= 0 {
+		o.GridDim = 24
+	}
+	if o.TracksPerEdge <= 0 {
+		o.TracksPerEdge = 28
+	}
+	return o
+}
+
+// GlobalResult is the congestion picture after global routing.
+type GlobalResult struct {
+	GridDim       int
+	Demand        []float64 // per-edge demand; horizontal then vertical edges
+	Capacity      float64   // per-edge capacity
+	WirelengthUm  float64
+	OverflowTotal float64 // sum over edges of max(0, demand-capacity)
+	OverflowPeak  float64 // worst single-edge overflow
+	HotspotFrac   float64 // fraction of edges over 90% capacity
+}
+
+// CongestionMargin summarizes routability in one number: >0 means
+// comfortable, <=0 means overflow pressure. It is the mechanistic driver
+// of detailed-routing convergence.
+func (g *GlobalResult) CongestionMargin() float64 {
+	return 1 - (g.OverflowTotal/float64(len(g.Demand)))/g.Capacity - 0.6*g.HotspotFrac
+}
+
+// GlobalRoute routes every non-clock net with congestion-aware L-shaped
+// pattern routing on a uniform grid and returns the congestion picture.
+func GlobalRoute(n *netlist.Netlist, opts GlobalOptions) *GlobalResult {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dim := opts.GridDim
+
+	w, h := dieExtent(n)
+	toGrid := func(x, y float64) (int, int) {
+		gx := int(x / w * float64(dim))
+		gy := int(y / h * float64(dim))
+		return clamp(gx, 0, dim-1), clamp(gy, 0, dim-1)
+	}
+
+	// Edge indexing: horizontal edge (x,y)->(x+1,y) at hIdx; vertical
+	// edge (x,y)->(x,y+1) at vIdx.
+	numH := (dim - 1) * dim
+	numV := dim * (dim - 1)
+	demand := make([]float64, numH+numV)
+	hIdx := func(x, y int) int { return y*(dim-1) + x }
+	vIdx := func(x, y int) int { return numH + x*(dim-1) + y }
+
+	res := &GlobalResult{GridDim: dim, Demand: demand, Capacity: opts.TracksPerEdge}
+
+	// Cost of adding one track to an edge: grows steeply near capacity
+	// (standard negotiated-congestion style cost).
+	edgeCost := func(e int) float64 {
+		u := demand[e] / opts.TracksPerEdge
+		return 1 + math.Exp(6*(u-1))
+	}
+	routeSeg := func(x1, y1, x2, y2 int, commit bool) float64 {
+		var cost float64
+		step := func(e int) {
+			cost += edgeCost(e)
+			if commit {
+				demand[e]++
+			}
+		}
+		for x := min(x1, x2); x < max(x1, x2); x++ {
+			step(hIdx(x, y1))
+		}
+		for y := min(y1, y2); y < max(y1, y2); y++ {
+			step(vIdx(x2, y))
+		}
+		return cost
+	}
+
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.IsClock || net.Driver < 0 || len(net.Sinks) == 0 {
+			continue
+		}
+		sx, sy := toGrid(n.Insts[net.Driver].X, n.Insts[net.Driver].Y)
+		for _, s := range net.Sinks {
+			tx, ty := toGrid(n.Insts[s.Inst].X, n.Insts[s.Inst].Y)
+			if sx == tx && sy == ty {
+				continue
+			}
+			// Two L-shapes: horizontal-first vs vertical-first;
+			// take the cheaper, breaking ties randomly.
+			c1 := routeSeg(sx, sy, tx, ty, false)            // H then V
+			c2 := routeSeg2(routeSeg, sx, sy, tx, ty, false) // V then H
+			if c1 < c2 || (c1 == c2 && rng.Float64() < 0.5) {
+				routeSeg(sx, sy, tx, ty, true)
+			} else {
+				routeSeg2(routeSeg, sx, sy, tx, ty, true)
+			}
+			res.WirelengthUm += (math.Abs(float64(sx-tx)) + math.Abs(float64(sy-ty))) * w / float64(dim)
+		}
+	}
+
+	hot := 0
+	for _, d := range demand {
+		if over := d - opts.TracksPerEdge; over > 0 {
+			res.OverflowTotal += over
+			if over > res.OverflowPeak {
+				res.OverflowPeak = over
+			}
+		}
+		if d > 0.9*opts.TracksPerEdge {
+			hot++
+		}
+	}
+	res.HotspotFrac = float64(hot) / float64(len(demand))
+	return res
+}
+
+// routeSeg2 is the vertical-first L: route (sx,sy)->(sx,ty) then
+// (sx,ty)->(tx,ty), expressed via the horizontal-first primitive by
+// swapping the bend.
+func routeSeg2(routeSeg func(int, int, int, int, bool) float64, sx, sy, tx, ty int, commit bool) float64 {
+	// Vertical-first from (sx,sy) to (tx,ty) equals horizontal-first
+	// from (tx,ty) to (sx,sy) traversed backwards; edge sets match.
+	return routeSeg(tx, ty, sx, sy, commit)
+}
+
+// DetailOptions parameterize the detailed-routing convergence simulator.
+type DetailOptions struct {
+	Iterations int   // rip-up-and-reroute iterations (default 20, as in Fig. 9)
+	Effort     int   // 1..3; higher effort converges faster (default 2)
+	Seed       int64 // run noise
+	// StopAfter lets a supervising policy terminate the run early
+	// (<=0 means run all iterations). Used by the doomed-run MDP.
+	StopAfter int
+}
+
+func (o DetailOptions) withDefaults() DetailOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 20
+	}
+	if o.Effort <= 0 {
+		o.Effort = 2
+	}
+	return o
+}
+
+// DetailResult is one detailed-routing run.
+type DetailResult struct {
+	// DRVs[t] is the violation count after iteration t; DRVs[0] is the
+	// initial count after track assignment.
+	DRVs          []int
+	Final         int
+	Success       bool // Final < SuccessDRVThreshold
+	IterationsRun int
+	// RuntimeProxy accumulates simulated per-iteration cost; early
+	// termination of doomed runs saves this (the paper's motivation).
+	RuntimeProxy float64
+}
+
+// DetailRoute simulates rip-up-and-reroute convergence for the global
+// routing congestion picture.
+func DetailRoute(g *GlobalResult, opts DetailOptions) *DetailResult {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &DetailResult{}
+
+	margin := g.CongestionMargin()
+
+	// Initial DRVs: proportional to total routed wire with a strong
+	// overflow multiplier.
+	base := 300 + 40*math.Sqrt(g.WirelengthUm)
+	drv := base * (1 + 2.5*g.OverflowTotal/math.Max(1, float64(len(g.Demand)))) *
+		math.Exp(0.25*rng.NormFloat64())
+
+	// Convergence floor: residual violations that rip-up cannot fix,
+	// driven by peak overflow and hotspot clustering. A comfortable
+	// margin gives floor ~0 (success); congestion leaves hundreds to
+	// thousands (doomed).
+	floor := 9 * g.OverflowPeak * (1 + 14*g.HotspotFrac)
+	if margin > 0.12 {
+		floor *= math.Exp(-12 * (margin - 0.12))
+	}
+	// Outcomes separate in practice (cf. the paper's Fig. 9: successes
+	// end near 10^1-10^2 DRVs, doomed runs at 10^3-10^4): a residual
+	// hotspot either unravels under rip-up or it doesn't. Sharpen the
+	// floor around the success threshold so borderline finals are rare,
+	// preserving monotonicity in congestion.
+	if floor > 0 {
+		floor = SuccessDRVThreshold * math.Pow(floor/SuccessDRVThreshold, 2.2)
+	}
+
+	// Per-iteration retention: fraction of fixable DRVs surviving an
+	// iteration. Effort buys a lower retention.
+	rho := 0.72 - 0.09*float64(opts.Effort)
+	res.DRVs = append(res.DRVs, int(drv))
+	for t := 1; t <= opts.Iterations; t++ {
+		if opts.StopAfter > 0 && t > opts.StopAfter {
+			break
+		}
+		noise := math.Exp(0.10 * rng.NormFloat64())
+		// Late iterations on congested designs can regress (the
+		// orange curve of Fig. 9): rip-up in hotspots creates new
+		// violations elsewhere.
+		regress := 1.0
+		if floor > SuccessDRVThreshold && t > opts.Iterations/2 && rng.Float64() < 0.3 {
+			regress = 1.15
+		}
+		drv = (floor + (drv-floor)*rho) * noise * regress
+		if drv < 0 {
+			drv = 0
+		}
+		res.DRVs = append(res.DRVs, int(drv))
+		res.IterationsRun++
+		res.RuntimeProxy += 1 + drv/5000
+	}
+	res.Final = res.DRVs[len(res.DRVs)-1]
+	res.Success = res.Final < SuccessDRVThreshold
+	return res
+}
+
+func dieExtent(n *netlist.Netlist) (w, h float64) {
+	var maxX, maxY float64
+	for i := range n.Insts {
+		maxX = math.Max(maxX, n.Insts[i].X)
+		maxY = math.Max(maxY, n.Insts[i].Y)
+	}
+	if maxX <= 0 {
+		maxX = 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	return maxX * 1.01, maxY * 1.01
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

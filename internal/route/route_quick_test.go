@@ -1,0 +1,58 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// TestDetailRouteInvariantsQuick property-checks the convergence
+// simulator across arbitrary seeds and supplies: series are non-negative,
+// lengths match the iteration budget, and the success flag agrees with
+// the threshold.
+func TestDetailRouteInvariantsQuick(t *testing.T) {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(1))
+	place.Place(n, place.Options{Seed: 1, Moves: 3000})
+	f := func(seed int64, supplyRaw uint8) bool {
+		supply := 1 + float64(supplyRaw)/2 // 1..128 tracks
+		g := GlobalRoute(n, GlobalOptions{Seed: seed, TracksPerEdge: supply})
+		r := DetailRoute(g, DetailOptions{Seed: seed})
+		if len(r.DRVs) != r.IterationsRun+1 {
+			return false
+		}
+		for _, d := range r.DRVs {
+			if d < 0 {
+				return false
+			}
+		}
+		if r.Final != r.DRVs[len(r.DRVs)-1] {
+			return false
+		}
+		return r.Success == (r.Final < SuccessDRVThreshold)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGlobalRouteDemandConservedQuick checks that total routed demand is
+// independent of capacity (the router reroutes, never drops nets).
+func TestGlobalRouteDemandConservedQuick(t *testing.T) {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(2))
+	place.Place(n, place.Options{Seed: 2, Moves: 3000})
+	ref := GlobalRoute(n, GlobalOptions{Seed: 7, TracksPerEdge: 1000})
+	refWL := ref.WirelengthUm
+	f := func(supplyRaw uint8) bool {
+		supply := 1 + float64(supplyRaw)
+		g := GlobalRoute(n, GlobalOptions{Seed: 7, TracksPerEdge: supply})
+		// Same nets routed: wirelength within the L-shape equivalence
+		// (both Ls have identical length, so WL must match exactly).
+		return g.WirelengthUm == refWL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

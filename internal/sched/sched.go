@@ -1,0 +1,84 @@
+// Package sched provides the license/server-constrained dispatcher used
+// to model concurrent tool runs: the paper's bandit orchestration is
+// "constrained chiefly by compute and license resources", and this pool
+// is that constraint.
+package sched
+
+import "sync"
+
+// Pool limits concurrent task execution to a fixed number of licenses.
+type Pool struct {
+	licenses int
+
+	mu      sync.Mutex
+	active  int
+	peak    int
+	total   int
+	waiting int
+}
+
+// NewPool creates a pool with n licenses (n < 1 is clamped to 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{licenses: n}
+}
+
+// Licenses returns the pool size.
+func (p *Pool) Licenses() int { return p.licenses }
+
+// Run executes the tasks with at most Licenses() of them in flight at a
+// time, blocking until all complete.
+func (p *Pool) Run(tasks []func()) {
+	sem := make(chan struct{}, p.licenses)
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f func()) {
+			defer wg.Done()
+			p.enter()
+			f()
+			p.leave()
+			<-sem
+		}(task)
+	}
+	wg.Wait()
+}
+
+// Map runs f over 0..n-1 under the license limit and collects results.
+func Map[T any](p *Pool, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	tasks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() { out[i] = f(i) }
+	}
+	p.Run(tasks)
+	return out
+}
+
+func (p *Pool) enter() {
+	p.mu.Lock()
+	p.active++
+	p.total++
+	if p.active > p.peak {
+		p.peak = p.active
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) leave() {
+	p.mu.Lock()
+	p.active--
+	p.mu.Unlock()
+}
+
+// Stats reports usage counters: the peak concurrency observed and the
+// total tasks executed.
+func (p *Pool) Stats() (peak, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak, p.total
+}

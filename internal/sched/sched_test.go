@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(3)
+	var count int64
+	tasks := make([]func(), 20)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt64(&count, 1) }
+	}
+	p.Run(tasks)
+	if count != 20 {
+		t.Fatalf("ran %d tasks", count)
+	}
+	peak, total := p.Stats()
+	if total != 20 {
+		t.Fatalf("total %d", total)
+	}
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeded 3 licenses", peak)
+	}
+}
+
+func TestPoolEnforcesLimit(t *testing.T) {
+	p := NewPool(2)
+	var active, violations int64
+	tasks := make([]func(), 12)
+	for i := range tasks {
+		tasks[i] = func() {
+			n := atomic.AddInt64(&active, 1)
+			if n > 2 {
+				atomic.AddInt64(&violations, 1)
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&active, -1)
+		}
+	}
+	p.Run(tasks)
+	if violations > 0 {
+		t.Fatalf("%d concurrency violations", violations)
+	}
+	peak, _ := p.Stats()
+	if peak != 2 {
+		t.Errorf("peak %d, want 2 (tasks should saturate the pool)", peak)
+	}
+}
+
+func TestPoolClampsToOne(t *testing.T) {
+	p := NewPool(0)
+	if p.Licenses() != 1 {
+		t.Fatalf("licenses %d", p.Licenses())
+	}
+	done := false
+	p.Run([]func(){func() { done = true }})
+	if !done {
+		t.Fatal("task not run")
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	p := NewPool(4)
+	out := Map(p, 10, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	p := NewPool(2)
+	p.Run(nil)
+	if _, total := p.Stats(); total != 0 {
+		t.Fatal("phantom tasks")
+	}
+}

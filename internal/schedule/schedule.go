@@ -1,0 +1,294 @@
+// Package schedule implements project-level design-resource scheduling:
+// allocating a fixed engineer pool across concurrent chip projects with
+// deadlines. The paper's footnote 4 (ref [1]) notes that "project- and
+// enterprise-level schedule and resource optimizations, supported by
+// accurate estimates, have the potential to achieve substantial design
+// cost reductions"; this package quantifies that by comparing allocation
+// policies on the same project portfolio.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Project is one chip/tapeout effort.
+type Project struct {
+	Name    string
+	Release int     // month the project becomes available
+	Due     int     // deadline month
+	WorkEM  float64 // total work, engineer-months
+	// MaxParallel caps how many engineers can usefully work at once
+	// (communication overhead; default 8).
+	MaxParallel int
+	// PenaltyPerMonth is the cost of missing the deadline, $ per month
+	// (a slipped tapeout is expensive; default 1e6).
+	PenaltyPerMonth float64
+}
+
+func (p Project) withDefaults() Project {
+	if p.MaxParallel <= 0 {
+		p.MaxParallel = 8
+	}
+	if p.PenaltyPerMonth <= 0 {
+		p.PenaltyPerMonth = 1e6
+	}
+	return p
+}
+
+// status tracks a project during simulation.
+type status struct {
+	Project
+	remaining float64
+	done      bool
+	finish    int
+}
+
+// Allocation maps project index -> engineers assigned this month.
+type Allocation map[int]int
+
+// Policy decides the per-month engineer allocation. Implementations
+// receive the active (released, unfinished) project indices, a view of
+// their state, and the pool size.
+type Policy interface {
+	Name() string
+	Allocate(month int, active []int, projects []status, engineers int) Allocation
+}
+
+// capAlloc clamps an allocation to MaxParallel and the pool, dropping
+// excess deterministically.
+func capAlloc(alloc Allocation, active []int, projects []status, engineers int) Allocation {
+	out := Allocation{}
+	used := 0
+	for _, pi := range active {
+		want := alloc[pi]
+		if want <= 0 {
+			continue
+		}
+		if want > projects[pi].MaxParallel {
+			want = projects[pi].MaxParallel
+		}
+		if used+want > engineers {
+			want = engineers - used
+		}
+		if want <= 0 {
+			continue
+		}
+		out[pi] = want
+		used += want
+	}
+	return out
+}
+
+// FIFO assigns the whole pool to projects in release order.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Allocate implements Policy.
+func (FIFO) Allocate(month int, active []int, projects []status, engineers int) Allocation {
+	order := append([]int(nil), active...)
+	sort.Slice(order, func(i, j int) bool { return projects[order[i]].Release < projects[order[j]].Release })
+	alloc := Allocation{}
+	left := engineers
+	for _, pi := range order {
+		take := projects[pi].MaxParallel
+		if take > left {
+			take = left
+		}
+		alloc[pi] = take
+		left -= take
+		if left == 0 {
+			break
+		}
+	}
+	return capAlloc(alloc, active, projects, engineers)
+}
+
+// EDD assigns the pool by earliest due date.
+type EDD struct{}
+
+// Name implements Policy.
+func (EDD) Name() string { return "edd" }
+
+// Allocate implements Policy.
+func (EDD) Allocate(month int, active []int, projects []status, engineers int) Allocation {
+	order := append([]int(nil), active...)
+	sort.Slice(order, func(i, j int) bool { return projects[order[i]].Due < projects[order[j]].Due })
+	alloc := Allocation{}
+	left := engineers
+	for _, pi := range order {
+		take := projects[pi].MaxParallel
+		if take > left {
+			take = left
+		}
+		alloc[pi] = take
+		left -= take
+		if left == 0 {
+			break
+		}
+	}
+	return capAlloc(alloc, active, projects, engineers)
+}
+
+// CriticalRatio allocates proportionally to urgency: remaining work over
+// remaining time (projects already late get top priority).
+type CriticalRatio struct{}
+
+// Name implements Policy.
+func (CriticalRatio) Name() string { return "critical-ratio" }
+
+// Allocate implements Policy.
+func (CriticalRatio) Allocate(month int, active []int, projects []status, engineers int) Allocation {
+	type scored struct {
+		pi      int
+		urgency float64
+	}
+	var order []scored
+	for _, pi := range active {
+		p := projects[pi]
+		slackMonths := float64(p.Due - month)
+		urgency := p.remaining * 10
+		if slackMonths > 0 {
+			urgency = p.remaining / slackMonths
+		}
+		order = append(order, scored{pi: pi, urgency: urgency})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].urgency != order[j].urgency {
+			return order[i].urgency > order[j].urgency
+		}
+		return order[i].pi < order[j].pi
+	})
+	alloc := Allocation{}
+	left := engineers
+	for _, s := range order {
+		// Assign the minimum of: what finishes the project this
+		// month, the parallelism cap, and what's left.
+		need := int(projects[s.pi].remaining + 0.999)
+		take := need
+		if take > projects[s.pi].MaxParallel {
+			take = projects[s.pi].MaxParallel
+		}
+		if take > left {
+			take = left
+		}
+		if take > 0 {
+			alloc[s.pi] = take
+			left -= take
+		}
+		if left == 0 {
+			break
+		}
+	}
+	return capAlloc(alloc, active, projects, engineers)
+}
+
+// Outcome is the simulated portfolio result under one policy.
+type Outcome struct {
+	Policy          string
+	MonthsSimulated int
+	TotalLateness   int     // project-months past deadlines
+	PenaltyUSD      float64 // lateness cost
+	SalaryUSD       float64 // engineer-months consumed * salary
+	TotalUSD        float64
+	Utilization     float64 // fraction of pool-months used
+	Finish          map[string]int
+	LateProjects    int
+}
+
+// Simulate runs the monthly allocation loop until all projects finish
+// (or 10x the latest deadline, a runaway guard). Salary is $20k per
+// engineer-month.
+func Simulate(projects []Project, engineers int, policy Policy) (Outcome, error) {
+	if engineers <= 0 {
+		return Outcome{}, fmt.Errorf("schedule: no engineers")
+	}
+	if len(projects) == 0 {
+		return Outcome{}, fmt.Errorf("schedule: no projects")
+	}
+	const salaryPerEM = 20_000
+	states := make([]status, len(projects))
+	maxDue := 0
+	for i, p := range projects {
+		p = p.withDefaults()
+		states[i] = status{Project: p, remaining: p.WorkEM}
+		if p.Due > maxDue {
+			maxDue = p.Due
+		}
+	}
+	guard := 10*maxDue + 120
+	out := Outcome{Policy: policy.Name(), Finish: map[string]int{}}
+	var usedEM float64
+	month := 0
+	for ; month < guard; month++ {
+		var active []int
+		for i := range states {
+			if !states[i].done && states[i].Release <= month {
+				active = append(active, i)
+			}
+		}
+		allDone := true
+		for i := range states {
+			if !states[i].done {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		if len(active) == 0 {
+			continue
+		}
+		alloc := capAlloc(policy.Allocate(month, active, states, engineers), active, states, engineers)
+		for pi, eng := range alloc {
+			// Charge only the work actually consumed: a project in
+			// its final month frees its surplus engineers (so salary
+			// accounting is work-conserving across policies).
+			consume := float64(eng)
+			if consume > states[pi].remaining {
+				consume = states[pi].remaining
+			}
+			states[pi].remaining -= consume
+			usedEM += consume
+			if states[pi].remaining <= 1e-9 && !states[pi].done {
+				states[pi].done = true
+				states[pi].finish = month + 1
+			}
+		}
+	}
+	out.MonthsSimulated = month
+	for i := range states {
+		if !states[i].done {
+			return out, fmt.Errorf("schedule: project %s never finished (policy %s)", states[i].Name, policy.Name())
+		}
+		out.Finish[states[i].Name] = states[i].finish
+		if late := states[i].finish - states[i].Due; late > 0 {
+			out.TotalLateness += late
+			out.PenaltyUSD += float64(late) * states[i].PenaltyPerMonth
+			out.LateProjects++
+		}
+	}
+	out.SalaryUSD = usedEM * salaryPerEM
+	out.TotalUSD = out.SalaryUSD + out.PenaltyUSD
+	if month > 0 {
+		out.Utilization = usedEM / float64(month*engineers)
+	}
+	return out, nil
+}
+
+// Compare runs all policies on the portfolio and returns outcomes sorted
+// by total cost (best first).
+func Compare(projects []Project, engineers int) ([]Outcome, error) {
+	var outs []Outcome
+	for _, pol := range []Policy{FIFO{}, EDD{}, CriticalRatio{}} {
+		o, err := Simulate(projects, engineers, pol)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].TotalUSD < outs[j].TotalUSD })
+	return outs, nil
+}

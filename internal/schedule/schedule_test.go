@@ -1,0 +1,120 @@
+package schedule
+
+import "testing"
+
+// portfolio: staggered due dates that punish FIFO (the early-released
+// project has a late deadline; the late-released one is urgent).
+func portfolio() []Project {
+	return []Project{
+		{Name: "soc-a", Release: 0, Due: 24, WorkEM: 60, MaxParallel: 6},
+		{Name: "soc-b", Release: 2, Due: 8, WorkEM: 30, MaxParallel: 8},
+		{Name: "ip-c", Release: 4, Due: 10, WorkEM: 20, MaxParallel: 4},
+		{Name: "deriv-d", Release: 6, Due: 14, WorkEM: 24, MaxParallel: 6},
+	}
+}
+
+func TestSimulateCompletesAll(t *testing.T) {
+	out, err := Simulate(portfolio(), 10, EDD{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Finish) != 4 {
+		t.Fatalf("finished %d projects", len(out.Finish))
+	}
+	for name, m := range out.Finish {
+		if m <= 0 {
+			t.Errorf("%s finish month %d", name, m)
+		}
+	}
+	if out.Utilization <= 0 || out.Utilization > 1 {
+		t.Errorf("utilization %v", out.Utilization)
+	}
+	if out.SalaryUSD <= 0 {
+		t.Error("no salary cost")
+	}
+}
+
+func TestDeadlineAwarePoliciesBeatFIFO(t *testing.T) {
+	fifo, err := Simulate(portfolio(), 10, FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edd, err := Simulate(portfolio(), 10, EDD{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Simulate(portfolio(), 10, CriticalRatio{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edd.PenaltyUSD >= fifo.PenaltyUSD {
+		t.Errorf("EDD penalty %v should beat FIFO %v", edd.PenaltyUSD, fifo.PenaltyUSD)
+	}
+	if cr.PenaltyUSD > fifo.PenaltyUSD {
+		t.Errorf("critical-ratio penalty %v should not exceed FIFO %v", cr.PenaltyUSD, fifo.PenaltyUSD)
+	}
+	// The salary cost is work-conserving (same total work), so total
+	// cost differences come from lateness.
+	if edd.SalaryUSD != fifo.SalaryUSD {
+		t.Errorf("salary should be policy-independent: %v vs %v", edd.SalaryUSD, fifo.SalaryUSD)
+	}
+}
+
+func TestCompareSorted(t *testing.T) {
+	outs, err := Compare(portfolio(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i].TotalUSD < outs[i-1].TotalUSD {
+			t.Fatal("outcomes not sorted by cost")
+		}
+	}
+}
+
+func TestAmpleResourcesNoLateness(t *testing.T) {
+	out, err := Simulate(portfolio(), 100, FIFO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalLateness != 0 {
+		t.Errorf("with a huge pool nothing should be late: %d project-months", out.TotalLateness)
+	}
+}
+
+func TestMaxParallelLimitsSpeed(t *testing.T) {
+	// One project, cap 2, work 10 EM: needs >= 5 months regardless of
+	// pool size.
+	out, err := Simulate([]Project{{Name: "x", Due: 3, WorkEM: 10, MaxParallel: 2}}, 50, EDD{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Finish["x"] < 5 {
+		t.Errorf("finished in %d months despite parallelism cap", out.Finish["x"])
+	}
+	if out.TotalLateness == 0 {
+		t.Error("cap should make the 3-month deadline impossible")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(nil, 5, FIFO{}); err == nil {
+		t.Error("empty portfolio should error")
+	}
+	if _, err := Simulate(portfolio(), 0, FIFO{}); err == nil {
+		t.Error("no engineers should error")
+	}
+}
+
+func TestReleaseRespected(t *testing.T) {
+	out, err := Simulate([]Project{{Name: "late-start", Release: 12, Due: 20, WorkEM: 4, MaxParallel: 4}}, 8, EDD{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Finish["late-start"] <= 12 {
+		t.Errorf("project finished at %d before its release month", out.Finish["late-start"])
+	}
+}

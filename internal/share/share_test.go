@@ -1,0 +1,157 @@
+package share
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+func design(seed int64) *netlist.Netlist {
+	return netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+}
+
+func TestNameScrubCleansAllNames(t *testing.T) {
+	orig := design(1)
+	anon := Anonymize(orig, NameScrub, 1)
+	if err := anon.Validate(); err != nil {
+		t.Fatalf("anonymized netlist invalid: %v", err)
+	}
+	if leaks := LeakCheck(orig, anon); len(leaks) != 0 {
+		t.Fatalf("leaks after scrub: %v", leaks)
+	}
+	if anon.Name == orig.Name {
+		t.Error("design name leaked")
+	}
+}
+
+func TestNameScrubPreservesEverythingElse(t *testing.T) {
+	orig := design(2)
+	anon := Anonymize(orig, NameScrub, 1)
+	d := Drift(orig, anon)
+	if d.Cells != 0 || d.Nets != 0 || d.Pins != 0 || d.AvgFanout != 0 || d.MaxLevel != 0 || d.Area != 0 {
+		t.Fatalf("name scrub changed structure: %+v", d)
+	}
+	for i := range orig.Insts {
+		if orig.Insts[i].Cell.Name != anon.Insts[i].Cell.Name {
+			t.Fatal("name scrub changed cells")
+		}
+	}
+}
+
+func TestOriginalUntouched(t *testing.T) {
+	orig := design(3)
+	name := orig.Insts[5].Name
+	cell := orig.Insts[5].Cell.Name
+	Anonymize(orig, Obfuscate, 1)
+	if orig.Insts[5].Name != name || orig.Insts[5].Cell.Name != cell {
+		t.Fatal("Anonymize modified its input")
+	}
+}
+
+func TestObfuscatePreservesStructure(t *testing.T) {
+	orig := design(4)
+	anon := Anonymize(orig, Obfuscate, 7)
+	if err := anon.Validate(); err != nil {
+		t.Fatalf("obfuscated netlist invalid: %v", err)
+	}
+	if leaks := LeakCheck(orig, anon); len(leaks) != 0 {
+		t.Fatalf("leaks: %v", leaks)
+	}
+	d := Drift(orig, anon)
+	if d.Cells != 0 || d.Nets != 0 || d.Pins != 0 || d.MaxLevel != 0 {
+		t.Fatalf("topology drifted: %+v", d)
+	}
+	if d.Area > 0.25 {
+		t.Errorf("area drift %v too large", d.Area)
+	}
+}
+
+func TestObfuscateScramblesFunction(t *testing.T) {
+	orig := design(5)
+	anon := Anonymize(orig, Obfuscate, 9)
+	changed := 0
+	for i := range orig.Insts {
+		if orig.Insts[i].Cell.Class != anon.Insts[i].Cell.Class {
+			changed++
+			if orig.Insts[i].Cell.Class.NumInputs() != anon.Insts[i].Cell.Class.NumInputs() {
+				t.Fatal("arity changed by scramble")
+			}
+			if orig.Insts[i].Cell.Drive != anon.Insts[i].Cell.Drive {
+				t.Fatal("drive changed by scramble")
+			}
+		}
+	}
+	if changed == 0 {
+		// Class permutation can be identity by chance on one seed;
+		// another seed should differ.
+		anon2 := Anonymize(orig, Obfuscate, 10)
+		for i := range orig.Insts {
+			if orig.Insts[i].Cell.Class != anon2.Insts[i].Cell.Class {
+				changed++
+			}
+		}
+		if changed == 0 {
+			t.Error("obfuscation never scrambled function across two seeds")
+		}
+	}
+}
+
+func TestObfuscatedDesignStillFlows(t *testing.T) {
+	orig := design(6)
+	anon := Anonymize(orig, Obfuscate, 11)
+	res := flow.Run(anon, flow.Options{TargetFreqGHz: 0.3, Seed: 1})
+	if res.AreaUm2 <= 0 {
+		t.Fatal("obfuscated design cannot be implemented")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	orig := design(7)
+	a := Anonymize(orig, Obfuscate, 3)
+	b := Anonymize(orig, Obfuscate, 3)
+	for i := range a.Insts {
+		if a.Insts[i].Cell.Name != b.Insts[i].Cell.Name || a.Insts[i].Name != b.Insts[i].Name {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestProxyMatchesStats(t *testing.T) {
+	lib := cellib.Default14nm()
+	orig := netlist.Generate(lib, netlist.PulpinoProxy(1))
+	target := orig.ComputeStats()
+	proxy, spec := Proxy(target, lib, 42)
+	if err := proxy.Validate(); err != nil {
+		t.Fatalf("proxy invalid: %v", err)
+	}
+	got := proxy.ComputeStats()
+	if got.Registers != target.Registers {
+		t.Errorf("registers %d vs %d", got.Registers, target.Registers)
+	}
+	if math.Abs(float64(got.Cells-target.Cells)) > 0.15*float64(target.Cells) {
+		t.Errorf("cells %d vs %d", got.Cells, target.Cells)
+	}
+	if got.MaxLevel != target.MaxLevel {
+		t.Errorf("depth %d vs %d", got.MaxLevel, target.MaxLevel)
+	}
+	if math.Abs(got.AvgNetSpan-target.AvgNetSpan) > 0.5*target.AvgNetSpan {
+		t.Errorf("span %v vs %v", got.AvgNetSpan, target.AvgNetSpan)
+	}
+	if spec.Locality <= 0.05 || spec.Locality >= 0.99 {
+		t.Errorf("locality %v did not converge", spec.Locality)
+	}
+	// Proxy must share no names with the original.
+	if leaks := LeakCheck(orig, proxy); len(leaks) != 0 {
+		// Generator names are gN/nN style and could collide; a proxy
+		// is a fresh generation so instance names will collide by
+		// construction (u0, u1...). Only the design name matters.
+		for _, l := range leaks {
+			if l == "design:"+orig.Name {
+				t.Error("proxy reused design name")
+			}
+		}
+	}
+}

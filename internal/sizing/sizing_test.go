@@ -1,0 +1,130 @@
+package sizing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/gwtw"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func tight(seed int64) *netlist.Netlist {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+	rep := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	// Constrain to 90% of achievable: violations to fix.
+	n.ClockPeriodPs = (1000 / rep.MaxFreqGHz) * 0.9
+	return n
+}
+
+func loose(seed int64) *netlist.Netlist {
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+	rep := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	n.ClockPeriodPs = (1000 / rep.MaxFreqGHz) * 2
+	// Upsize everything so recovery has room.
+	for i := range n.Insts {
+		up, _ := n.Lib.Upsize(n.Insts[i].Cell)
+		n.Insts[i].Cell = up
+	}
+	return n
+}
+
+func TestFixImprovesWNS(t *testing.T) {
+	n := tight(1)
+	res := Fix(n, Config{Seed: 1})
+	if res.WNSBefore >= 0 {
+		t.Skip("constraint not tight enough")
+	}
+	if res.WNSAfter <= res.WNSBefore {
+		t.Errorf("Fix did not improve WNS: %v -> %v", res.WNSBefore, res.WNSAfter)
+	}
+	if res.Upsized == 0 {
+		t.Error("Fix upsized nothing")
+	}
+	if res.AreaAfter <= res.AreaBefore {
+		t.Error("fixing timing should cost area")
+	}
+	if res.TimerRuns < 2 {
+		t.Error("signoff timer should be consulted per pass")
+	}
+}
+
+func TestRecoverSavesAreaKeepsTiming(t *testing.T) {
+	n := loose(2)
+	res := Recover(n, Config{Seed: 1, MaxPasses: 2})
+	if res.AreaAfter >= res.AreaBefore {
+		t.Errorf("Recover saved no area: %v -> %v", res.AreaBefore, res.AreaAfter)
+	}
+	if !res.Met {
+		t.Errorf("Recover broke timing: WNS %v", res.WNSAfter)
+	}
+	if res.Downsized == 0 {
+		t.Error("Recover downsized nothing")
+	}
+	final := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	if final.WNSPs < 0 {
+		t.Errorf("netlist violates after recovery: %v", final.WNSPs)
+	}
+}
+
+func TestRecoverRefusesWhenTight(t *testing.T) {
+	n := tight(3)
+	before := n.Area()
+	res := Recover(n, Config{Seed: 1})
+	if res.WNSBefore >= 5 {
+		t.Skip("not tight")
+	}
+	if n.Area() != before || res.Downsized != 0 {
+		t.Error("Recover should not touch a timing-critical design")
+	}
+}
+
+func TestAnnealerOptimizerContract(t *testing.T) {
+	n := loose(4)
+	a := NewAnnealer(n, sta.Config{Engine: sta.Fast}, 1)
+	rng := rand.New(rand.NewSource(1))
+	c0 := a.Cost()
+	if c0 <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	clone := a.Clone()
+	for i := 0; i < 200; i++ {
+		a.Step(rng)
+	}
+	if clone.Cost() != c0 {
+		t.Error("stepping the original changed the clone's cost")
+	}
+	// Annealing should not leave cost far above start on average.
+	if a.Cost() > c0*1.5 {
+		t.Errorf("annealer diverged: %v -> %v", c0, a.Cost())
+	}
+}
+
+func TestAnnealerUnderGWTW(t *testing.T) {
+	n := loose(5)
+	res := gwtw.Run(func(i int) gwtw.Optimizer {
+		return NewAnnealer(n, sta.Config{Engine: sta.Fast}, int64(i))
+	}, gwtw.Config{Population: 4, Rounds: 4, StepsPerRound: 40, Seed: 1})
+	if res.BestCost <= 0 {
+		t.Fatal("no result")
+	}
+	first := res.Trace[0][0]
+	if res.BestCost > first*1.05 {
+		t.Errorf("GWTW regressed: %v -> %v", first, res.BestCost)
+	}
+	// The winning netlist must still be valid.
+	best := res.Best.(*Annealer)
+	if err := best.N.Validate(); err != nil {
+		t.Fatalf("best netlist invalid: %v", err)
+	}
+}
+
+func TestFixDeterministic(t *testing.T) {
+	a, b := tight(6), tight(6)
+	ra := Fix(a, Config{Seed: 9})
+	rb := Fix(b, Config{Seed: 9})
+	if ra.AreaAfter != rb.AreaAfter || ra.WNSAfter != rb.WNSAfter {
+		t.Error("same seed differs")
+	}
+}

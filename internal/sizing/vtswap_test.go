@@ -1,0 +1,100 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func multiVTDesign(seed int64, slackFactor float64) *netlist.Netlist {
+	n := netlist.Generate(cellib.Default14nmMultiVT(), netlist.Tiny(seed))
+	rep := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	n.ClockPeriodPs = (1000 / rep.MaxFreqGHz) * slackFactor
+	return n
+}
+
+func TestRecoverVTSavesLeakage(t *testing.T) {
+	n := multiVTDesign(1, 2.0) // generous slack
+	res := RecoverVT(n, Config{Seed: 1, MaxPasses: 2})
+	if res.Swapped == 0 {
+		t.Fatal("no cells swapped despite slack")
+	}
+	if res.LeakageAfter >= res.LeakageBefore {
+		t.Fatalf("leakage did not drop: %v -> %v", res.LeakageBefore, res.LeakageAfter)
+	}
+	if !res.Met {
+		t.Fatal("VT swap broke timing")
+	}
+	final := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	if final.WNSPs < 0 {
+		t.Fatalf("netlist violates after VT recovery: %v", final.WNSPs)
+	}
+	// HVT cells present.
+	hvt := 0
+	for i := range n.Insts {
+		if n.Insts[i].Cell.VT == cellib.HVT {
+			hvt++
+		}
+	}
+	if hvt != res.Swapped {
+		t.Errorf("HVT count %d != swapped %d", hvt, res.Swapped)
+	}
+}
+
+func TestRecoverVTRefusesTightDesign(t *testing.T) {
+	n := multiVTDesign(2, 1.0) // zero slack
+	leak := n.Leakage()
+	res := RecoverVT(n, Config{Seed: 1})
+	if res.Swapped != 0 || n.Leakage() != leak {
+		t.Error("VT recovery should not touch a zero-slack design")
+	}
+}
+
+func TestRecoverVTNeedsMultiVTLibrary(t *testing.T) {
+	// Single-VT library: WithVT(HVT) fails everywhere, nothing swaps.
+	n := netlist.Generate(cellib.Default14nm(), netlist.Tiny(3))
+	rep := sta.Analyze(n, sta.Config{Engine: sta.Signoff})
+	n.ClockPeriodPs = (1000 / rep.MaxFreqGHz) * 2
+	res := RecoverVT(n, Config{Seed: 1})
+	if res.Swapped != 0 {
+		t.Error("single-VT library cannot swap")
+	}
+}
+
+func TestMultiVTLibraryShape(t *testing.T) {
+	lib := cellib.Default14nmMultiVT()
+	if got := len(lib.Cells()); got != 11*5*3 {
+		t.Fatalf("%d cells, want 165", got)
+	}
+	svt, _ := lib.ByName("INV_X2")
+	hvt, ok := lib.ByName("INV_X2_HVT")
+	if !ok {
+		t.Fatal("HVT flavor missing")
+	}
+	lvt, ok := lib.ByName("INV_X2_LVT")
+	if !ok {
+		t.Fatal("LVT flavor missing")
+	}
+	if !(hvt.Leakage < svt.Leakage && svt.Leakage < lvt.Leakage) {
+		t.Error("leakage ordering HVT < SVT < LVT broken")
+	}
+	const load = 20.0
+	if !(lvt.Delay(load) < svt.Delay(load) && svt.Delay(load) < hvt.Delay(load)) {
+		t.Error("delay ordering LVT < SVT < HVT broken")
+	}
+	// Upsize preserves flavor.
+	up, okUp := lib.Upsize(hvt)
+	if !okUp || up.VT != cellib.HVT || up.Drive <= hvt.Drive {
+		t.Errorf("HVT upsize broken: %+v", up)
+	}
+	// WithVT round trip.
+	back, okBack := lib.WithVT(hvt, cellib.SVT)
+	if !okBack || back.Name != "INV_X2" {
+		t.Errorf("WithVT round trip got %v", back.Name)
+	}
+	if cellib.HVT.String() != "HVT" || cellib.SVT.String() != "SVT" || cellib.LVT.String() != "LVT" {
+		t.Error("VT names")
+	}
+}

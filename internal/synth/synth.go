@@ -1,0 +1,250 @@
+// Package synth models logic synthesis: high-fanout buffering plus
+// timing-driven gate sizing toward a target frequency.
+//
+// The synthesizer is deliberately heuristic and seeded: near the maximum
+// achievable frequency its discrete decisions (which critical cell to
+// upsize first, where to buffer) depend on random tie-breaks, so repeated
+// runs of the same input scatter in area and timing. This is the
+// mechanistic source of the Gaussian SP&R implementation noise the paper
+// shows in Fig. 3 (refs [15][29]): the harder the tool is pushed, the
+// noisier the outcome.
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// Options are the synthesis knobs. They are one level of the flow-option
+// tree of the paper's Fig. 5(a).
+type Options struct {
+	TargetFreqGHz float64
+	Effort        int     // 1..3: sizing passes per STA iteration budget
+	Seed          int64   // run seed; drives heuristic tie-breaks
+	MaxFanout     int     // buffer nets with more sinks than this (default 8)
+	UpsizeFrac    float64 // fraction of critical endpoints attacked per pass (default 0.35)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Effort <= 0 {
+		o.Effort = 2
+	}
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = 8
+	}
+	if o.UpsizeFrac <= 0 {
+		o.UpsizeFrac = 0.35
+	}
+	if o.TargetFreqGHz <= 0 {
+		o.TargetFreqGHz = 0.5
+	}
+	return o
+}
+
+// Result reports the synthesis outcome.
+type Result struct {
+	Netlist *netlist.Netlist
+
+	AreaUm2      float64
+	WNSPs        float64
+	TNSPs        float64
+	Met          bool // timing met at target
+	Passes       int
+	Upsized      int
+	BuffersAdded int
+	LeakageNW    float64
+}
+
+// Run synthesizes the design toward the target frequency. The input
+// netlist is not modified; all cells of the result start from the input
+// sizes and are strengthened as needed.
+func Run(design *netlist.Netlist, opts Options) Result {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := design.Clone()
+	n.ClockPeriodPs = 1000 / opts.TargetFreqGHz
+
+	res := Result{Netlist: n}
+	res.BuffersAdded = bufferHighFanout(n, opts, rng)
+	if err := n.Relevel(); err != nil {
+		// Buffering cannot create cycles; a failure here indicates a
+		// corrupt input, surfaced via the validation invariant.
+		panic(err)
+	}
+
+	// Timing-driven sizing: repeatedly attack the worst endpoints'
+	// paths. The per-pass endpoint subset and the per-cell upsize
+	// decision are randomized — the "heuristics deployed to meet
+	// capacity and TAT" that make the tool noisy (paper Sec. 2,
+	// Challenge 2).
+	maxPasses := 6 * opts.Effort
+	staCfg := sta.Config{Engine: sta.Fast}
+	var rep *sta.Report
+	for pass := 0; pass < maxPasses; pass++ {
+		rep = sta.Analyze(n, staCfg)
+		res.Passes++
+		if rep.WNSPs >= 0 {
+			break
+		}
+		if upsizePass(n, rep, opts, rng, &res) == 0 {
+			break // saturated: every critical cell at max drive
+		}
+	}
+	final := sta.Analyze(n, staCfg)
+	res.WNSPs = final.WNSPs
+	res.TNSPs = final.TNSPs
+	res.Met = final.WNSPs >= 0
+	res.AreaUm2 = n.Area()
+	res.LeakageNW = n.Leakage()
+	return res
+}
+
+// bufferHighFanout splits nets with excessive fanout behind buffers,
+// choosing the split partition randomly.
+func bufferHighFanout(n *netlist.Netlist, opts Options, rng *rand.Rand) int {
+	buf := n.Lib.Variants(cellib.Buffer)[2] // X4 buffer
+	added := 0
+	numNets := len(n.Nets) // snapshot: don't re-buffer new nets
+	for netID := 0; netID < numNets; netID++ {
+		net := &n.Nets[netID]
+		if net.IsClock || len(net.Sinks) <= opts.MaxFanout {
+			continue
+		}
+		sinks := append([]netlist.PinRef(nil), net.Sinks...)
+		rng.Shuffle(len(sinks), func(i, j int) { sinks[i], sinks[j] = sinks[j], sinks[i] })
+		// Move all but MaxFanout/2 sinks behind buffers, in groups.
+		group := opts.MaxFanout
+		for len(sinks) > opts.MaxFanout {
+			k := group
+			if k > len(sinks)-opts.MaxFanout/2 {
+				k = len(sinks) - opts.MaxFanout/2
+			}
+			n.InsertBuffer(netID, sinks[:k], buf)
+			sinks = sinks[k:]
+			added++
+		}
+	}
+	return added
+}
+
+// upsizePass strengthens cells on violating paths. Returns the number of
+// cells changed.
+func upsizePass(n *netlist.Netlist, rep *sta.Report, opts Options, rng *rand.Rand, res *Result) int {
+	eps := rep.WorstEndpoints(len(rep.Endpoints))
+	// Keep only violations; attack a random subset each pass.
+	var viol []sta.Endpoint
+	for _, ep := range eps {
+		if ep.SlackPs < 0 {
+			viol = append(viol, ep)
+		}
+	}
+	if len(viol) == 0 {
+		return 0
+	}
+	k := int(float64(len(viol))*opts.UpsizeFrac) + 1
+	if k > len(viol) {
+		k = len(viol)
+	}
+	rng.Shuffle(len(viol), func(i, j int) { viol[i], viol[j] = viol[j], viol[i] })
+	viol = viol[:k]
+
+	// Collect candidate instances: drivers along each violating
+	// endpoint's fan-in cone, weighted toward high-load drivers.
+	type cand struct {
+		inst  int
+		score float64
+	}
+	seen := make(map[int]bool)
+	var cands []cand
+	for _, ep := range viol {
+		cone := faninCone(n, ep.Net, 6)
+		for _, id := range cone {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out := n.FanoutNet[id]
+			if out < 0 {
+				continue
+			}
+			cell := n.Insts[id].Cell
+			load := n.NetLoad(out)
+			// Sensitivity proxy: delay reduction per area if upsized.
+			up, ok := n.Lib.Upsize(cell)
+			if !ok {
+				continue
+			}
+			gain := cell.Delay(load) - up.Delay(load)
+			dArea := up.Area - cell.Area
+			if dArea <= 0 {
+				dArea = 1e-9
+			}
+			cands = append(cands, cand{inst: id, score: gain / dArea * (0.8 + 0.4*rng.Float64())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	changed := 0
+	budget := len(cands)/3 + 1
+	for _, c := range cands {
+		if changed >= budget {
+			break
+		}
+		up, ok := n.Lib.Upsize(n.Insts[c.inst].Cell)
+		if !ok {
+			continue
+		}
+		n.Insts[c.inst].Cell = up
+		changed++
+		res.Upsized++
+	}
+	return changed
+}
+
+// faninCone returns up to `depth` levels of drivers behind a net.
+func faninCone(n *netlist.Netlist, netID, depth int) []int {
+	var cone []int
+	frontier := []int{netID}
+	visited := make(map[int]bool)
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []int
+		for _, nid := range frontier {
+			drv := n.Nets[nid].Driver
+			if drv < 0 || visited[drv] {
+				continue
+			}
+			visited[drv] = true
+			cone = append(cone, drv)
+			if n.Insts[drv].Cell.Class.Sequential() {
+				continue
+			}
+			for _, fn := range n.FaninNet[drv] {
+				if fn >= 0 && !n.Nets[fn].IsClock {
+					next = append(next, fn)
+				}
+			}
+		}
+		frontier = next
+	}
+	return cone
+}
+
+// MaxAchievableFreq estimates the maximum frequency reachable for a design
+// by bisection on synthesis targets: the largest target the tool can meet
+// (with the given seed). This defines the "aim low" frontier of Fig. 3.
+func MaxAchievableFreq(design *netlist.Netlist, base Options, loGHz, hiGHz float64) float64 {
+	for i := 0; i < 12; i++ {
+		mid := (loGHz + hiGHz) / 2
+		o := base
+		o.TargetFreqGHz = mid
+		if Run(design, o).Met {
+			loGHz = mid
+		} else {
+			hiGHz = mid
+		}
+	}
+	return loGHz
+}

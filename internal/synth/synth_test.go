@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func tiny(seed int64) *netlist.Netlist {
+	return netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+}
+
+func TestRunProducesValidNetlist(t *testing.T) {
+	d := tiny(1)
+	res := Run(d, Options{TargetFreqGHz: 0.5, Seed: 1})
+	if err := res.Netlist.Validate(); err != nil {
+		t.Fatalf("synthesized netlist invalid: %v", err)
+	}
+	if res.AreaUm2 <= 0 || res.Passes < 1 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestInputUnmodified(t *testing.T) {
+	d := tiny(2)
+	areaBefore := d.Area()
+	cells := len(d.Insts)
+	Run(d, Options{TargetFreqGHz: 0.9, Seed: 1})
+	if d.Area() != areaBefore || len(d.Insts) != cells {
+		t.Fatal("Run modified its input design")
+	}
+}
+
+func TestEasyTargetMet(t *testing.T) {
+	d := tiny(3)
+	res := Run(d, Options{TargetFreqGHz: 0.2, Seed: 1})
+	if !res.Met {
+		t.Fatalf("0.2 GHz should be trivially met, WNS=%v", res.WNSPs)
+	}
+}
+
+func TestImpossibleTargetNotMet(t *testing.T) {
+	d := tiny(4)
+	res := Run(d, Options{TargetFreqGHz: 50, Seed: 1})
+	if res.Met {
+		t.Fatal("50 GHz cannot be met by this library")
+	}
+	if res.WNSPs >= 0 {
+		t.Fatalf("WNS should be negative: %v", res.WNSPs)
+	}
+}
+
+func TestHigherTargetCostsArea(t *testing.T) {
+	// The area-vs-target staircase underlying Fig. 3 (left): pushing
+	// frequency costs area through upsizing.
+	d := tiny(5)
+	low := Run(d, Options{TargetFreqGHz: 0.3, Seed: 1})
+	fmax := MaxAchievableFreq(d, Options{Seed: 1}, 0.3, 3)
+	high := Run(d, Options{TargetFreqGHz: fmax * 0.98, Seed: 1})
+	if high.AreaUm2 <= low.AreaUm2 {
+		t.Errorf("near-fmax area %v should exceed relaxed-target area %v", high.AreaUm2, low.AreaUm2)
+	}
+	if high.Upsized == 0 {
+		t.Error("near-fmax synthesis should upsize cells")
+	}
+}
+
+func TestSeedNoiseNearFmax(t *testing.T) {
+	// Different seeds near fmax must scatter in area (the paper's
+	// implementation-noise phenomenon); at a relaxed target the noise
+	// should be much smaller.
+	d := tiny(6)
+	fmax := MaxAchievableFreq(d, Options{Seed: 1}, 0.3, 3)
+	spread := func(freq float64) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for seed := int64(0); seed < 8; seed++ {
+			a := Run(d, Options{TargetFreqGHz: freq, Seed: seed}).AreaUm2
+			lo = math.Min(lo, a)
+			hi = math.Max(hi, a)
+		}
+		return hi - lo
+	}
+	if spread(fmax*0.97) <= spread(0.25) {
+		t.Errorf("noise near fmax (%v) should exceed noise at relaxed target (%v)",
+			spread(fmax*0.97), spread(0.25))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	d := tiny(7)
+	a := Run(d, Options{TargetFreqGHz: 0.8, Seed: 42})
+	b := Run(d, Options{TargetFreqGHz: 0.8, Seed: 42})
+	if a.AreaUm2 != b.AreaUm2 || a.WNSPs != b.WNSPs || a.Upsized != b.Upsized {
+		t.Fatalf("same seed gave different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestHighFanoutBuffered(t *testing.T) {
+	d := tiny(8)
+	// Manufacture a high-fanout net: connect many sinks to net of inst 20.
+	target := d.FanoutNet[20]
+	for i := 30; i < 55; i++ {
+		if d.Insts[i].Cell.Class.Sequential() {
+			continue
+		}
+		d.Connect(target, i, 0)
+	}
+	if err := d.Relevel(); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(d, Options{TargetFreqGHz: 0.4, Seed: 1, MaxFanout: 6})
+	if res.BuffersAdded == 0 {
+		t.Fatal("expected buffering of the 25+-sink net")
+	}
+	for i := range res.Netlist.Nets {
+		net := &res.Netlist.Nets[i]
+		if net.IsClock {
+			continue
+		}
+		if len(net.Sinks) > 25 {
+			t.Errorf("net %d still has %d sinks", i, len(net.Sinks))
+		}
+	}
+	if err := res.Netlist.Validate(); err != nil {
+		t.Fatalf("buffered netlist invalid: %v", err)
+	}
+}
+
+func TestMetImpliesSignoffClose(t *testing.T) {
+	// Synthesis closes on the fast engine; signoff should be within
+	// the engines' miscorrelation band, not wildly off.
+	d := tiny(9)
+	res := Run(d, Options{TargetFreqGHz: 0.4, Seed: 1})
+	if !res.Met {
+		t.Skip("target not met")
+	}
+	so := sta.Analyze(res.Netlist, sta.Config{Engine: sta.Signoff})
+	if so.WNSPs < res.WNSPs-400 {
+		t.Errorf("signoff WNS %v too far below fast WNS %v", so.WNSPs, res.WNSPs)
+	}
+}
+
+func TestMaxAchievableFreqBounds(t *testing.T) {
+	d := tiny(10)
+	fmax := MaxAchievableFreq(d, Options{Seed: 3}, 0.2, 4)
+	if fmax <= 0.2 || fmax >= 4 {
+		t.Fatalf("fmax %v outside (0.2, 4)", fmax)
+	}
+	met := Run(d, Options{TargetFreqGHz: fmax, Seed: 3})
+	if !met.Met {
+		t.Errorf("fmax %v from bisection should be achievable", fmax)
+	}
+	// Met(f) is not strictly monotone (tighter targets get more sizing
+	// effort), so only check a generous margin above fmax.
+	notMet := Run(d, Options{TargetFreqGHz: fmax * 3, Seed: 3})
+	if notMet.Met {
+		t.Errorf("fmax*3 = %v GHz should not be achievable", fmax*3)
+	}
+}
+
+func TestEffortReducesViolations(t *testing.T) {
+	d := tiny(11)
+	fmax := MaxAchievableFreq(d, Options{Seed: 1}, 0.3, 3)
+	lo := Run(d, Options{TargetFreqGHz: fmax * 1.05, Seed: 1, Effort: 1})
+	hi := Run(d, Options{TargetFreqGHz: fmax * 1.05, Seed: 1, Effort: 3})
+	if hi.WNSPs < lo.WNSPs-1 {
+		t.Errorf("higher effort should not be clearly worse: effort3 WNS %v vs effort1 %v", hi.WNSPs, lo.WNSPs)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Effort != 2 || o.MaxFanout != 8 || o.UpsizeFrac != 0.35 || o.TargetFreqGHz != 0.5 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
