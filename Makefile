@@ -1,0 +1,7 @@
+check:
+	scripts/check.sh
+
+bench:
+	scripts/check.sh bench
+
+.PHONY: check bench

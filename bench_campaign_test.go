@@ -1,0 +1,80 @@
+// Campaign-engine benchmarks: the serial reference loop against the
+// engine with memoization on an identical workload — three studies
+// revisiting the same (frequency x seed) option points, the repeated-
+// sampling pattern of the Fig. 3 / Fig. 7 harnesses. Both benchmarks
+// report the same qor_area_sum, proving equal statistical output; the
+// parallel variant additionally reports its cache hit rate.
+//
+// scripts/check.sh bench runs the pair and derives the speedup into
+// BENCH_campaign.json.
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// campaignStudies is how many times the benchmark workload revisits the
+// same option points (distinct studies sharing a sweep).
+const campaignStudies = 3
+
+func campaignBenchPoints(design *netlist.Netlist, designKey string) []campaign.Point {
+	var pts []campaign.Point
+	for f := 0; f < 2; f++ {
+		for s := 0; s < 4; s++ {
+			pts = append(pts, campaign.Point{
+				Design:    design,
+				DesignKey: designKey,
+				Options: flow.Options{
+					TargetFreqGHz: 0.35 + 0.15*float64(f),
+					Seed:          int64(1000*f + s),
+				},
+			})
+		}
+	}
+	return pts
+}
+
+func BenchmarkCampaignSerial(b *testing.B) {
+	design := NewDesign(DefaultLibrary(), TinyDesign(1))
+	pts := campaignBenchPoints(design, "")
+	var area float64
+	for i := 0; i < b.N; i++ {
+		area = 0
+		for study := 0; study < campaignStudies; study++ {
+			for _, p := range pts {
+				area += flow.Run(p.Design, p.Options).AreaUm2
+			}
+		}
+	}
+	b.ReportMetric(area, "qor_area_sum")
+}
+
+func BenchmarkCampaignParallel(b *testing.B) {
+	design := NewDesign(DefaultLibrary(), TinyDesign(1))
+	pts := campaignBenchPoints(design, campaign.KeyFor(design))
+	var area, hitRate float64
+	for i := 0; i < b.N; i++ {
+		// A fresh cache per iteration: the first study pays every miss,
+		// the rest ride the memo — no warm state leaks across b.N.
+		cache := campaign.NewCache(0)
+		eng := campaign.New(campaign.Config{Cache: cache})
+		area = 0
+		for study := 0; study < campaignStudies; study++ {
+			results, err := eng.Run(context.Background(), pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				area += r.AreaUm2
+			}
+		}
+		hitRate = cache.HitRate()
+	}
+	b.ReportMetric(area, "qor_area_sum")
+	b.ReportMetric(hitRate, "cache_hit_rate")
+}

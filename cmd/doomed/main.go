@@ -8,7 +8,7 @@
 //	doomed -card          # the strategy card
 //	doomed -table         # the Type1/Type2 error table
 //	doomed -all           # everything
-//	      [-scale small|paper] [-seed 1]
+//	      [-scale small|paper] [-seed 1] [-parallel N]
 package main
 
 import (
@@ -26,8 +26,10 @@ func main() {
 	all := flag.Bool("all", false, "print everything")
 	scale := flag.String("scale", "small", "experiment scale: small or paper")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	parallel := flag.Int("parallel", 0, "concurrent runs (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
+	repro.SetWorkers(*parallel)
 	s := repro.Small
 	if *scale == "paper" {
 		s = repro.Paper

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mabsched [-scale small|paper] [-seed 1]
+//	mabsched [-scale small|paper] [-seed 1] [-parallel N]
 package main
 
 import (
@@ -19,8 +19,10 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: small or paper")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	parallel := flag.Int("parallel", 0, "concurrent runs (0 = one per CPU); results are identical at any setting")
 	flag.Parse()
 
+	repro.SetWorkers(*parallel)
 	s := repro.Small
 	if *scale == "paper" {
 		s = repro.Paper

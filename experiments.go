@@ -116,7 +116,7 @@ type Fig3Result struct {
 func Fig3(scale Scale, seed int64) Fig3Result {
 	lib := DefaultLibrary()
 	var design *Design
-	cfg := noise.Config{Seed: seed}
+	cfg := noise.Config{Seed: seed, Workers: WorkerCount()}
 	if scale == Paper {
 		design = NewDesign(lib, PulpinoProxy(seed))
 		cfg.Seeds = 40

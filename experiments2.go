@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/correlate"
 	"repro/internal/flow"
@@ -155,9 +157,12 @@ func Fig7(scale Scale, seed int64) (Fig7Result, error) {
 		iters = 40
 	}
 	base := flowBase(seed)
+	// One memo cache across all four policy searches: any option point
+	// two searches both sample is computed once.
+	cache := NewFlowCache(0)
 	main, err := Search(design, base, cons, SearchConfig{
 		Freqs: arms, Iterations: iters, Licenses: 5, Algorithm: "thompson", Seed: seed,
-		FreqWeighted: true,
+		FreqWeighted: true, Cache: cache,
 	})
 	if err != nil {
 		return Fig7Result{}, err
@@ -169,7 +174,7 @@ func Fig7(scale Scale, seed int64) (Fig7Result, error) {
 	for _, alg := range []string{"softmax", "eps-greedy", "ucb1"} {
 		r, err := Search(design, base, cons, SearchConfig{
 			Freqs: arms, Iterations: iters, Licenses: 5, Algorithm: alg, Seed: seed,
-			FreqWeighted: true,
+			FreqWeighted: true, Cache: cache,
 		})
 		if err != nil {
 			return Fig7Result{}, err
@@ -272,18 +277,28 @@ func Fig7Robustness(seed int64) BanditRobustness {
 	}
 	res.Settings = len(settings)
 
+	// Each setting's scores are independent of the others, so the grid
+	// fans out over the campaign engine; the relative-score merge below
+	// runs serially in setting order, keeping the floating-point
+	// accumulation identical to the serial loop.
 	const seedsPer = 6
-	for _, st := range settings {
-		totals := map[string]float64{}
-		for s := int64(0); s < seedsPer; s++ {
-			for _, name := range algs {
-				alg, _ := NewAlgorithmByName(name, st.env.NumArms())
-				h := mab.Simulate(alg, st.env, mab.Config{
-					Iterations: st.iter, Concurrent: st.conc, Seed: seed + s,
-				})
-				totals[name] += h.TotalReward()
+	eng := campaign.New(campaign.Config{Workers: campaign.Workers(WorkerCount())})
+	perSetting, _ := campaign.Map(context.Background(), eng, len(settings), //nolint:errcheck // background ctx never cancels
+		func(i int) map[string]float64 {
+			st := settings[i]
+			totals := map[string]float64{}
+			for s := int64(0); s < seedsPer; s++ {
+				for _, name := range algs {
+					alg, _ := NewAlgorithmByName(name, st.env.NumArms())
+					h := mab.Simulate(alg, st.env, mab.Config{
+						Iterations: st.iter, Concurrent: st.conc, Seed: seed + s,
+					})
+					totals[name] += h.TotalReward()
+				}
 			}
-		}
+			return totals
+		})
+	for _, totals := range perSetting {
 		best := 0.0
 		for _, t := range totals {
 			if t > best {

@@ -26,9 +26,11 @@ func Corpora(scale Scale, seed int64) (train, test []logfile.Run) {
 	nTrain, nTest, designs := corpusSizes(scale)
 	train = logfile.Generate(logfile.CorpusSpec{
 		Name: "artificial", Runs: nTrain, Seed: seed, Designs: designs,
+		Workers: WorkerCount(),
 	})
 	test = logfile.Generate(logfile.CorpusSpec{
 		Name: "embedded-cpu", Runs: nTest, Seed: seed + 1, Designs: designs,
+		Workers: WorkerCount(),
 	})
 	return train, test
 }

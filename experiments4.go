@@ -118,7 +118,8 @@ func Ropes(scale Scale, seed int64) (RopesResult, error) {
 		{TargetFreqGHz: 0.9, Seed: seed + 1},
 		{TargetFreqGHz: 2.0, Seed: seed + 2},
 	}
-	samples := predict.Campaign(designs, variants, seedsPer)
+	samples := predict.CampaignWith(designs, variants, seedsPer,
+		predict.CampaignConfig{Workers: WorkerCount()})
 	evals, err := predict.Evaluate(predict.StandardRopes(), samples, 0.25, seed)
 	if err != nil {
 		return RopesResult{}, err

@@ -6,10 +6,12 @@ package repro
 // project-level scheduling.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/correlate"
 	"repro/internal/drcfix"
 	"repro/internal/floorplan"
@@ -36,20 +38,33 @@ type LastMileResult struct {
 	PkgRobotLen, PkgGreedyLen             float64
 }
 
-// LastMile runs all four robot-vs-baseline comparisons.
+// LastMile runs all four robot-vs-baseline comparisons. Each trial is
+// seeded explicitly, so the per-application trial loops fan out over the
+// campaign engine; per-trial values are reduced in trial order to keep
+// the floating-point sums identical to the serial loops.
 func LastMile(scale Scale, seed int64) LastMileResult {
 	var res LastMileResult
 	trials := 6
 	if scale == Paper {
 		trials = 16
 	}
+	eng := campaign.New(campaign.Config{Workers: campaign.Workers(WorkerCount())})
+	ctx := context.Background()
 
 	// (i) DRC fixing.
-	for s := int64(0); s < int64(trials); s++ {
+	type drcTrial struct{ robot, naive float64 }
+	drc, _ := campaign.Map(ctx, eng, trials, func(i int) drcTrial { //nolint:errcheck // background ctx never cancels
+		s := int64(i)
 		fr := drcfix.NewField(60, 12, seed+s)
-		res.DRCRobotAttempts += float64(drcfix.RunRobot(fr, 5000).Attempts) / float64(trials)
 		fn := drcfix.NewField(60, 12, seed+s)
-		res.DRCNaiveAttempts += float64(drcfix.RunNaive(fn, 5000).Attempts) / float64(trials)
+		return drcTrial{
+			robot: float64(drcfix.RunRobot(fr, 5000).Attempts),
+			naive: float64(drcfix.RunNaive(fn, 5000).Attempts),
+		}
+	})
+	for _, t := range drc {
+		res.DRCRobotAttempts += t.robot / float64(trials)
+		res.DRCNaiveAttempts += t.naive / float64(trials)
 	}
 
 	// (ii) Timing closure: expert path-driven sizing vs random
@@ -79,7 +94,12 @@ func LastMile(scale Scale, seed int64) LastMileResult {
 	res.TimingNaiveWNSGain = (after.WNSPs - before.WNSPs) / float64(max(1, timerRuns))
 
 	// (iii) Memory placement.
-	for s := int64(0); s < int64(trials); s++ {
+	type memTrial struct {
+		robotWL, randomWL float64
+		legal             bool
+	}
+	mem, _ := campaign.Map(ctx, eng, trials, func(i int) memTrial { //nolint:errcheck // background ctx never cancels
+		s := int64(i)
 		rng := rand.New(rand.NewSource(seed + s))
 		b := memplace.Block{W: 100, H: 100}
 		macros := make([]memplace.Macro, 5)
@@ -93,14 +113,22 @@ func LastMile(scale Scale, seed int64) LastMileResult {
 		}
 		r := memplace.Robot(b, macros)
 		n := memplace.Random(b, macros, seed+s+100)
-		if r.Legal && n.Legal {
-			res.MemRobotWL += r.WirelengthUm / float64(trials)
-			res.MemRandomWL += n.WirelengthUm / float64(trials)
+		return memTrial{robotWL: r.WirelengthUm, randomWL: n.WirelengthUm, legal: r.Legal && n.Legal}
+	})
+	for _, t := range mem {
+		if t.legal {
+			res.MemRobotWL += t.robotWL / float64(trials)
+			res.MemRandomWL += t.randomWL / float64(trials)
 		}
 	}
 
 	// (iv) Package layout.
-	for s := int64(0); s < int64(trials); s++ {
+	type pkgTrial struct {
+		robotCross, greedyCross int
+		robotLen, greedyLen     float64
+	}
+	pkg, _ := campaign.Map(ctx, eng, trials, func(i int) pkgTrial { //nolint:errcheck // background ctx never cancels
+		s := int64(i)
 		rng := rand.New(rand.NewSource(seed + s))
 		sigs := make([]pkglayout.Signal, 14)
 		for i := range sigs {
@@ -109,10 +137,18 @@ func LastMile(scale Scale, seed int64) LastMileResult {
 		balls := pkglayout.Ring(18, 25)
 		ra := pkglayout.Robot(sigs, balls)
 		ga := pkglayout.Greedy(sigs, balls)
-		res.PkgRobotCrossings += pkglayout.Crossings(sigs, balls, ra)
-		res.PkgGreedyCrossings += pkglayout.Crossings(sigs, balls, ga)
-		res.PkgRobotLen += pkglayout.Length(sigs, balls, ra) / float64(trials)
-		res.PkgGreedyLen += pkglayout.Length(sigs, balls, ga) / float64(trials)
+		return pkgTrial{
+			robotCross:  pkglayout.Crossings(sigs, balls, ra),
+			greedyCross: pkglayout.Crossings(sigs, balls, ga),
+			robotLen:    pkglayout.Length(sigs, balls, ra),
+			greedyLen:   pkglayout.Length(sigs, balls, ga),
+		}
+	})
+	for _, t := range pkg {
+		res.PkgRobotCrossings += t.robotCross
+		res.PkgGreedyCrossings += t.greedyCross
+		res.PkgRobotLen += t.robotLen / float64(trials)
+		res.PkgGreedyLen += t.greedyLen / float64(trials)
 	}
 	return res
 }

@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/flow"
+	"repro/internal/metrics"
+)
+
+// shardCount is a power of two so shard selection is a mask.
+const shardCount = 32
+
+// Cache memoizes flow results by content key: hash(design fingerprint,
+// Options) -> *flow.Result. Identical option points recur constantly
+// across the paper's studies (probe runs, shared arms, repeated seeds
+// across figure regenerations), and a flow run is deterministic in its
+// inputs, so recomputing one is pure waste — the Simopt observation that
+// caching CAD-flow pass results is the biggest TAT lever.
+//
+// The cache is sharded (mutex per shard) and coalesces concurrent
+// requests for the same key into a single computation. Cached results
+// are shared: callers must treat them — including Result.Netlist — as
+// immutable. Hit/miss/eviction counts are kept locally and mirrored
+// into the process-wide metrics registry (campaign.cache.* counters,
+// visible on the METRICS server's /stats endpoint).
+type Cache struct {
+	capPerShard int
+	shards      [shardCount]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.RWMutex
+	entries  map[string]*flow.Result
+	order    []string // insertion order, for FIFO eviction
+	inflight map[string]*inflightCall
+}
+
+type inflightCall struct {
+	done chan struct{}
+	res  *flow.Result
+}
+
+// NewCache creates a memo cache holding up to capacity results
+// (capacity <= 0 means unbounded). Eviction is FIFO per shard: flow
+// campaigns sweep forward through option space, so the oldest points are
+// the least likely to recur.
+func NewCache(capacity int) *Cache {
+	c := &Cache{}
+	if capacity > 0 {
+		c.capPerShard = (capacity + shardCount - 1) / shardCount
+		if c.capPerShard < 1 {
+			c.capPerShard = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*flow.Result{}
+		c.shards[i].inflight = map[string]*inflightCall{}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	// FNV-1a over the key, folded to a shard index.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h&(shardCount-1)]
+}
+
+// Get returns the cached result for a key, if present.
+func (c *Cache) Get(key string) (*flow.Result, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	r, ok := s.entries[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		metrics.Add("campaign.cache.hit", 1)
+	} else {
+		c.misses.Add(1)
+		metrics.Add("campaign.cache.miss", 1)
+	}
+	return r, ok
+}
+
+// Do returns the cached result for key, computing and storing it on a
+// miss. Concurrent Do calls with the same key coalesce: one computes,
+// the rest wait and share the result (counted as hits, plus a coalesced
+// marker).
+func (c *Cache) Do(key string, compute func() *flow.Result) *flow.Result {
+	s := c.shard(key)
+	s.mu.Lock()
+	if r, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		metrics.Add("campaign.cache.hit", 1)
+		return r
+	}
+	if call, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-call.done
+		c.hits.Add(1)
+		c.coalesced.Add(1)
+		metrics.Add("campaign.cache.hit", 1)
+		metrics.Add("campaign.cache.coalesced", 1)
+		return call.res
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = call
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	metrics.Add("campaign.cache.miss", 1)
+	call.res = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	c.insert(s, key, call.res)
+	s.mu.Unlock()
+	close(call.done)
+	return call.res
+}
+
+// insert stores an entry, evicting the shard's oldest if at capacity.
+// Caller holds s.mu.
+func (c *Cache) insert(s *cacheShard, key string, r *flow.Result) {
+	if _, exists := s.entries[key]; !exists {
+		if c.capPerShard > 0 && len(s.order) >= c.capPerShard {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.entries, oldest)
+			c.evictions.Add(1)
+			metrics.Add("campaign.cache.evict", 1)
+		}
+		s.order = append(s.order, key)
+	}
+	s.entries[key] = r
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64 // subset of Hits served by waiting on an in-flight compute
+	Evictions int64
+	Entries   int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

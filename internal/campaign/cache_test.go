@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(0)
+	mk := func() *flow.Result { return &flow.Result{AreaUm2: 1} }
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("phantom entry")
+	}
+	r1 := c.Do("a", mk)
+	r2 := c.Do("a", mk)
+	if r1 != r2 {
+		t.Fatal("second Do recomputed")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry lost")
+	}
+	st := c.Stats()
+	// Get(miss) + Do(miss) + Do(hit) + Get(hit).
+	if st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("stats %+v, want 2 hits 2 misses", st)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries %d", st.Entries)
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v", got)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Capacity below shardCount clamps to one entry per shard; keys that
+	// land on the same shard evict FIFO.
+	c := NewCache(1)
+	var aKey, bKey string
+	// Find two keys on the same shard.
+	base := c.shard("k0")
+	aKey = "k0"
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == base {
+			bKey = k
+			break
+		}
+	}
+	c.Do(aKey, func() *flow.Result { return &flow.Result{} })
+	c.Do(bKey, func() *flow.Result { return &flow.Result{} })
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+	if _, ok := c.Get(aKey); ok {
+		t.Error("oldest entry should have been evicted")
+	}
+	if _, ok := c.Get(bKey); !ok {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestCacheSharding(t *testing.T) {
+	c := NewCache(0)
+	used := map[*cacheShard]bool{}
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		used[c.shard(k)] = true
+		c.Do(k, func() *flow.Result { return &flow.Result{} })
+	}
+	if len(used) < shardCount/2 {
+		t.Errorf("only %d of %d shards used by 256 keys — bad spread", len(used), shardCount)
+	}
+	if c.Len() != 256 {
+		t.Errorf("len %d", c.Len())
+	}
+}
+
+// TestCacheCoalescesConcurrentComputes: N goroutines asking for the same
+// key must trigger exactly one compute.
+func TestCacheCoalescesConcurrentComputes(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*flow.Result, 8)
+	run := func(i int) {
+		defer wg.Done()
+		results[i] = c.Do("shared", func() *flow.Result {
+			close(entered)
+			<-gate // hold the computation so others pile up
+			computes.Add(1)
+			return &flow.Result{AreaUm2: 42}
+		})
+	}
+	wg.Add(1)
+	go run(0)
+	<-entered // the key is in flight; everyone else must coalesce or hit
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters reach the in-flight call
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computes for one key", got)
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("goroutine %d got a different result pointer", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 7 {
+		t.Errorf("stats %+v, want 1 miss / 7 hits", st)
+	}
+	if st.Coalesced == 0 {
+		t.Error("no waiter coalesced onto the in-flight compute")
+	}
+}

@@ -1,0 +1,138 @@
+// Package campaign is the parallel experiment engine of the
+// reproduction: it fans sets of flow option points — seed sweeps,
+// frequency sweeps, bandit pulls, logfile-corpus generation — out over a
+// license-constrained worker pool, with results that are bit-identical
+// to the serial reference loops regardless of scheduling order, and
+// memoizes flow results so identical points are never recomputed across
+// studies.
+//
+// Determinism is by construction: every point carries its own seed, a
+// flow run is a pure function of (design, Options), and results land in
+// the output slice by point index. Parallelism therefore changes only
+// wall-clock, never statistics — the property the paper's orchestration
+// needs when it samples "5 concurrent runs per iteration" under compute
+// and license constraints.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/sched"
+)
+
+// Point is one flow run in a campaign: a design, its cache identity and
+// the option point to run it at.
+type Point struct {
+	Design *netlist.Netlist
+	// DesignKey identifies the design contents for memoization; use
+	// KeyFor to derive it. An empty key disables the cache for the
+	// point (e.g. when the caller will mutate the result's netlist).
+	DesignKey string
+	Options   flow.Options
+}
+
+// cacheKey is the full memo key: design content x canonical options.
+func (p Point) cacheKey() string { return p.DesignKey + "\x00" + p.Options.Key() }
+
+// KeyFor derives a Point.DesignKey from the design's content
+// fingerprint, so two structurally identical designs share cache
+// entries and two different ones never collide on a name.
+func KeyFor(design *netlist.Netlist) string {
+	return fmt.Sprintf("%s#%016x", design.Name, design.Fingerprint())
+}
+
+// Points expands a base option point into one Point per seed — the
+// universal shape of the repo's seed-sweep loops.
+func Points(design *netlist.Netlist, key string, base flow.Options, seeds []int64) []Point {
+	pts := make([]Point, len(seeds))
+	for i, s := range seeds {
+		opts := base
+		opts.Seed = s
+		pts[i] = Point{Design: design, DesignKey: key, Options: opts}
+	}
+	return pts
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the concurrent flow-run limit (the license count).
+	// <= 0 selects one worker per CPU.
+	Workers int
+	// Pool overrides Workers with an externally shared license pool.
+	Pool *sched.Pool
+	// Cache enables flow-result memoization when non-nil.
+	Cache *Cache
+	// Observer receives step records from every flow run. Note that
+	// with more than one worker, records from different points
+	// interleave (records within one run stay ordered), and memoized
+	// points emit no records — instrumented campaigns that need one
+	// record set per point should run uncached.
+	Observer flow.Observer
+}
+
+// Engine executes campaigns. The zero-value Engine is not usable; build
+// one with New.
+type Engine struct {
+	pool  *sched.Pool
+	cache *Cache
+	obs   flow.Observer
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	pool := cfg.Pool
+	if pool == nil {
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+		pool = sched.NewPool(w)
+	}
+	return &Engine{pool: pool, cache: cfg.Cache, obs: cfg.Observer}
+}
+
+// Pool returns the engine's license pool (for Stats).
+func (e *Engine) Pool() *sched.Pool { return e.pool }
+
+// Cache returns the engine's memo cache (nil if memoization is off).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Run executes every point and returns results in point order:
+// out[i] corresponds to pts[i] no matter how the scheduler interleaves
+// the work. On context cancellation it returns early with ctx.Err();
+// points not yet started stay nil in the output.
+func (e *Engine) Run(ctx context.Context, pts []Point) ([]*flow.Result, error) {
+	return sched.MapCtx(ctx, e.pool, len(pts), func(i int) *flow.Result {
+		return e.runPoint(pts[i])
+	})
+}
+
+func (e *Engine) runPoint(p Point) *flow.Result {
+	if e.cache == nil || p.DesignKey == "" {
+		return flow.RunObserved(p.Design, p.Options, e.obs)
+	}
+	return e.cache.Do(p.cacheKey(), func() *flow.Result {
+		return flow.RunObserved(p.Design, p.Options, e.obs)
+	})
+}
+
+// Map is the generic deterministic fan-out for campaign work that is
+// not a whole flow run (synthesis-only noise sweeps, detailed-route
+// corpus generation): f(i) must depend only on i, results land by
+// index. Cancellation semantics match Engine.Run.
+func Map[T any](ctx context.Context, e *Engine, n int, f func(i int) T) ([]T, error) {
+	return sched.MapCtx(ctx, e.pool, n, f)
+}
+
+// Workers normalizes a worker-count knob shared by the experiment
+// configs: n if positive, one per CPU when 0 or negative.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}

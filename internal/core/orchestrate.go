@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/campaign"
 	"repro/internal/flow"
 	"repro/internal/mab"
 	"repro/internal/netlist"
@@ -22,6 +24,10 @@ type SearchConfig struct {
 	Seed       int64
 	// FreqWeighted shapes rewards by frequency (see FreqArms).
 	FreqWeighted bool
+	// Cache memoizes flow runs, so searches sharing a design reuse each
+	// other's samples (optional). Arm selection and seeding are
+	// unaffected; only recomputation is skipped.
+	Cache *campaign.Cache
 }
 
 // NewAlgorithm builds a bandit policy by name over n arms.
@@ -66,9 +72,11 @@ type SearchResult struct {
 }
 
 // Search runs the orchestrated bandit search over flow targets. Flow
-// runs within an iteration execute concurrently under the license pool;
-// the policy is updated at iteration boundaries, exactly as concurrent
-// EDA runs report.
+// runs within an iteration execute concurrently on the campaign engine
+// under the license pool; the policy is updated at iteration boundaries,
+// exactly as concurrent EDA runs report. Arm choices and per-run seeds
+// are drawn before each batch fans out, so the trace is deterministic in
+// cfg.Seed no matter how the pool schedules the runs.
 func Search(design *netlist.Netlist, base flow.Options, cons flow.Constraints, cfg SearchConfig) (*SearchResult, error) {
 	if len(cfg.Freqs) == 0 {
 		return nil, fmt.Errorf("core: no frequency arms")
@@ -85,6 +93,11 @@ func Search(design *netlist.Netlist, base flow.Options, cons flow.Constraints, c
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pool := sched.NewPool(cfg.Licenses)
+	eng := campaign.New(campaign.Config{Pool: pool, Cache: cfg.Cache})
+	designKey := ""
+	if cfg.Cache != nil {
+		designKey = campaign.KeyFor(design)
+	}
 	res := &SearchResult{Algorithm: alg.Name()}
 
 	maxFreq := cfg.Freqs[0]
@@ -96,36 +109,32 @@ func Search(design *netlist.Netlist, base flow.Options, cons flow.Constraints, c
 
 	for t := 0; t < cfg.Iterations; t++ {
 		arms := make([]int, cfg.Licenses)
-		seeds := make([]int64, cfg.Licenses)
+		pts := make([]campaign.Point, cfg.Licenses)
 		for k := range arms {
 			arms[k] = alg.Select(rng)
-			seeds[k] = rng.Int63()
-		}
-		type outcome struct {
-			ok      bool
-			area    float64
-			runtime float64
-		}
-		outs := sched.Map(pool, cfg.Licenses, func(k int) outcome {
 			opts := base
 			opts.TargetFreqGHz = cfg.Freqs[arms[k]]
-			opts.Seed = seeds[k]
-			r := flow.Run(design, opts)
-			return outcome{ok: cons.Satisfied(r), area: r.AreaUm2, runtime: r.RuntimeProxy}
-		})
+			opts.Seed = rng.Int63()
+			pts[k] = campaign.Point{Design: design, DesignKey: designKey, Options: opts}
+		}
+		outs, err := eng.Run(context.Background(), pts)
+		if err != nil {
+			return nil, err
+		}
 		for k, o := range outs {
 			f := cfg.Freqs[arms[k]]
+			ok := cons.Satisfied(o)
 			res.Samples = append(res.Samples, SamplePoint{
 				Iteration: t, Slot: k, FreqGHz: f,
-				Satisfied: o.ok, AreaUm2: o.area, Runtime: o.runtime,
+				Satisfied: ok, AreaUm2: o.AreaUm2, Runtime: o.RuntimeProxy,
 			})
 			res.TotalRuns++
-			res.TotalRuntime += o.runtime
+			res.TotalRuntime += o.RuntimeProxy
 			reward := 0.0
-			if o.ok {
+			if ok {
 				if f > res.BestFreqGHz {
 					res.BestFreqGHz = f
-					res.BestArea = o.area
+					res.BestArea = o.AreaUm2
 				}
 				reward = 1
 				if cfg.FreqWeighted {
@@ -136,6 +145,6 @@ func Search(design *netlist.Netlist, base flow.Options, cons flow.Constraints, c
 		}
 		res.BestFreqSoFar = append(res.BestFreqSoFar, res.BestFreqGHz)
 	}
-	res.PeakLicenses, _ = pool.Stats()
+	res.PeakLicenses, _, _ = pool.Stats()
 	return res, nil
 }

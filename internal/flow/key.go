@@ -1,0 +1,28 @@
+package flow
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Key returns the canonical cache key of an option point: two Options
+// that drive identical flow runs — including ones that only differ in
+// unset fields versus their defaults — map to the same string. It is
+// the Options half of the campaign memo-cache key
+// hash(design, Options) -> *Result.
+func (o Options) Key() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d",
+		o.TargetFreqGHz, o.Seed,
+		o.SynthEffort, o.MaxFanout, o.Utilization, o.PlaceMoves,
+		o.Partitions, o.TracksPerEdge, o.RouteEffort, o.RouteIters,
+		o.DeratePct, o.StopRouteAfter)
+}
+
+// Hash returns the FNV-1a hash of Key, for shard selection and compact
+// fingerprints.
+func (o Options) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(o.Key())) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}

@@ -1,0 +1,49 @@
+package flow
+
+import "testing"
+
+func TestKeyNormalizesDefaults(t *testing.T) {
+	zero := Options{}
+	explicit := Options{TargetFreqGHz: 0.5, PlaceMoves: 60}
+	if zero.Key() != explicit.Key() {
+		t.Errorf("default-normalized options should share a key:\n%q\n%q",
+			zero.Key(), explicit.Key())
+	}
+	if zero.Hash() != explicit.Hash() {
+		t.Error("default-normalized options should share a hash")
+	}
+}
+
+func TestKeyDistinguishesEveryField(t *testing.T) {
+	base := Options{TargetFreqGHz: 0.5, Seed: 1, PlaceMoves: 60}
+	variants := map[string]Options{}
+	add := func(name string, mut func(*Options)) {
+		o := base
+		mut(&o)
+		variants[name] = o
+	}
+	add("freq", func(o *Options) { o.TargetFreqGHz = 0.6 })
+	add("seed", func(o *Options) { o.Seed = 2 })
+	add("synth_effort", func(o *Options) { o.SynthEffort = 2 })
+	add("max_fanout", func(o *Options) { o.MaxFanout = 8 })
+	add("utilization", func(o *Options) { o.Utilization = 0.7 })
+	add("place_moves", func(o *Options) { o.PlaceMoves = 80 })
+	add("partitions", func(o *Options) { o.Partitions = 4 })
+	add("tracks", func(o *Options) { o.TracksPerEdge = 30 })
+	add("route_effort", func(o *Options) { o.RouteEffort = 2 })
+	add("route_iters", func(o *Options) { o.RouteIters = 10 })
+	add("derate", func(o *Options) { o.DeratePct = 3 })
+	add("stop_after", func(o *Options) { o.StopRouteAfter = 5 })
+
+	seen := map[string]string{base.Key(): "base"}
+	for name, o := range variants {
+		k := o.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("options differing in %s collide with %s: %q", name, prev, k)
+		}
+		seen[k] = name
+		if o.Hash() == base.Hash() {
+			t.Errorf("hash collision between base and %s", name)
+		}
+	}
+}

@@ -15,11 +15,13 @@ package logfile
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/cellib"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -117,6 +119,11 @@ type CorpusSpec struct {
 	TrackSupplies []float64
 	// Iterations per detailed-route run (default 20).
 	Iterations int
+	// Workers is the concurrent-run limit for corpus generation (0 = one
+	// per CPU). All rng seeds are pre-drawn in the serial loop's order
+	// before any work fans out, so the corpus is bit-identical at any
+	// worker count.
+	Workers int
 }
 
 func (c CorpusSpec) withDefaults() CorpusSpec {
@@ -152,19 +159,42 @@ func (c CorpusSpec) withDefaults() CorpusSpec {
 
 // Generate builds a corpus of detailed-routing logfiles by sweeping
 // designs, routing supplies and run seeds through the route simulator.
+// Substrate construction fans out per design and detailed routing fans
+// out per run on the campaign engine; every rng seed is pre-drawn in the
+// order the serial loop consumed them, so the corpus does not depend on
+// scheduling.
 func Generate(spec CorpusSpec) []Run {
 	spec = spec.withDefaults()
 	rng := rand.New(rand.NewSource(spec.Seed))
 	lib := cellib.Default14nm()
+	eng := campaign.New(campaign.Config{Workers: campaign.Workers(spec.Workers)})
+	ctx := context.Background()
+
+	// Pre-draw every seed in the serial loop's interleaved order: per
+	// design, one probe draw then one draw per track supply; then one
+	// draw per run.
+	nSupply := len(spec.TrackSupplies)
+	probeSeeds := make([]int64, spec.Designs)
+	supplySeeds := make([]int64, spec.Designs*nSupply)
+	for i := 0; i < spec.Designs; i++ {
+		probeSeeds[i] = rng.Int63()
+		for j := 0; j < nSupply; j++ {
+			supplySeeds[i*nSupply+j] = rng.Int63()
+		}
+	}
+	runSeeds := make([]int64, spec.Runs)
+	for id := range runSeeds {
+		runSeeds[id] = rng.Int63()
+	}
 
 	// Build the congestion substrates: per design, per track supply,
-	// one global-routing result.
+	// one global-routing result. Each design's build is independent.
 	type substrate struct {
 		design string
 		g      *route.GlobalResult
 	}
-	var subs []substrate
-	for i := 0; i < spec.Designs; i++ {
+	subs := make([]substrate, spec.Designs*nSupply)
+	campaign.Map(ctx, eng, spec.Designs, func(i int) struct{} { //nolint:errcheck // background ctx never cancels
 		ds := spec.DesignSpec(i, spec.Seed)
 		n := netlist.Generate(lib, ds)
 		place.Place(n, place.Options{Seed: spec.Seed + int64(i), Moves: 25 * n.NumCells()})
@@ -173,7 +203,7 @@ func Generate(spec CorpusSpec) []Run {
 		// demand, so corpora straddle the congestion crossover for
 		// designs of any size.
 		probe := route.GlobalRoute(n, route.GlobalOptions{
-			Seed:          rng.Int63(),
+			Seed:          probeSeeds[i],
 			TracksPerEdge: math.Inf(1),
 		})
 		var meanDemand float64
@@ -184,24 +214,26 @@ func Generate(spec CorpusSpec) []Run {
 		if meanDemand < 1 {
 			meanDemand = 1
 		}
-		for _, ratio := range spec.TrackSupplies {
+		for j, ratio := range spec.TrackSupplies {
 			g := route.GlobalRoute(n, route.GlobalOptions{
-				Seed:          rng.Int63(),
+				Seed:          supplySeeds[i*nSupply+j],
 				TracksPerEdge: ratio * meanDemand,
 			})
-			subs = append(subs, substrate{design: fmt.Sprintf("%s-%d", ds.Name, i), g: g})
+			subs[i*nSupply+j] = substrate{design: fmt.Sprintf("%s-%d", ds.Name, i), g: g}
 		}
-	}
+		return struct{}{}
+	})
 
-	runs := make([]Run, 0, spec.Runs)
-	for id := 0; id < spec.Runs; id++ {
+	runs := make([]Run, spec.Runs)
+	campaign.Map(ctx, eng, spec.Runs, func(id int) struct{} { //nolint:errcheck // background ctx never cancels
 		s := subs[id%len(subs)]
 		res := route.DetailRoute(s.g, route.DetailOptions{
 			Iterations: spec.Iterations,
-			Seed:       rng.Int63(),
+			Seed:       runSeeds[id],
 		})
-		runs = append(runs, FromDetail(id, s.design, spec.Name, res))
-	}
+		runs[id] = FromDetail(id, s.design, spec.Name, res)
+		return struct{}{}
+	})
 	return runs
 }
 

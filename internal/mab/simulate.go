@@ -1,6 +1,10 @@
 package mab
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/sched"
+)
 
 // Environment produces stochastic rewards per arm. Implementations range
 // from synthetic Bernoulli test beds to the real flow sampler in
@@ -123,6 +127,11 @@ type Config struct {
 	Iterations int // outer iterations (paper Fig. 7: 40)
 	Concurrent int // samples per iteration = concurrent tool runs (paper: 5)
 	Seed       int64
+	// Workers fans each batch's reward draws out over a license pool
+	// (<= 1 keeps them on the caller's goroutine). Each slot draws from
+	// its own sub-seeded generator fixed before the batch fans out, so
+	// the history is bit-identical at any worker count.
+	Workers int
 }
 
 // Simulate runs the policy against the environment: each iteration
@@ -130,6 +139,11 @@ type Config struct {
 // draws their rewards, then updates the policy with the whole batch.
 // Updates happen only at batch boundaries, matching how concurrent EDA
 // runs report results.
+//
+// Arm selection stays serial (the policy and its generator are shared
+// state); reward draws are the campaign fan-out. Slot k of iteration t
+// always sees the same sub-seed for a given cfg.Seed, which is what
+// makes the parallel and serial paths produce identical histories.
 func Simulate(alg Algorithm, env Environment, cfg Config) *History {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 40
@@ -138,23 +152,35 @@ func Simulate(alg Algorithm, env Environment, cfg Config) *History {
 		cfg.Concurrent = 5
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pool *sched.Pool
+	if cfg.Workers > 1 {
+		pool = sched.NewPool(cfg.Workers)
+	}
 	h := &History{Algorithm: alg.Name(), ArmCounts: make([]int, env.NumArms())}
 	best := 0.0
 	regret := 0.0
 	opt := env.OptimalMean()
 	for t := 0; t < cfg.Iterations; t++ {
 		arms := make([]int, cfg.Concurrent)
+		seeds := make([]int64, cfg.Concurrent)
 		for k := range arms {
 			arms[k] = alg.Select(rng)
+			seeds[k] = rng.Int63()
+		}
+		draw := func(k int) float64 {
+			return env.Reward(arms[k], rand.New(rand.NewSource(seeds[k])))
+		}
+		rewards := make([]float64, cfg.Concurrent)
+		if pool != nil {
+			rewards = sched.Map(pool, cfg.Concurrent, draw)
+		} else {
+			for k := range rewards {
+				rewards[k] = draw(k)
+			}
 		}
 		var batchSum float64
-		type obs struct {
-			arm int
-			r   float64
-		}
-		batch := make([]obs, 0, cfg.Concurrent)
 		for k, a := range arms {
-			r := env.Reward(a, rng)
+			r := rewards[k]
 			h.Pulls = append(h.Pulls, Pull{Iteration: t, Slot: k, Arm: a, Reward: r})
 			h.ArmCounts[a]++
 			batchSum += r
@@ -162,10 +188,9 @@ func Simulate(alg Algorithm, env Environment, cfg Config) *History {
 				best = r
 			}
 			regret += opt - meanOfEnv(env, a)
-			batch = append(batch, obs{arm: a, r: r})
 		}
-		for _, o := range batch {
-			alg.Update(o.arm, o.r)
+		for k, a := range arms {
+			alg.Update(a, rewards[k])
 		}
 		h.BestSoFar = append(h.BestSoFar, best)
 		h.MeanReward = append(h.MeanReward, batchSum/float64(cfg.Concurrent))

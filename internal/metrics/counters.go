@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is a registry of named monotonic counters — the operational
+// side of the METRICS idea applied to the reproduction's own
+// infrastructure (campaign cache hits, pool contention, ...), as opposed
+// to the per-step design records the Store holds. It is safe for
+// concurrent use; counter increments are a single atomic add.
+type Counters struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64
+}
+
+// NewCounters creates an empty registry.
+func NewCounters() *Counters {
+	return &Counters{m: map[string]*atomic.Int64{}}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (c *Counters) Counter(name string) *atomic.Int64 {
+	c.mu.RLock()
+	v, ok := c.m[name]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok = c.m[name]; !ok {
+		v = &atomic.Int64{}
+		c.m[name] = v
+	}
+	return v
+}
+
+// Add increments the named counter.
+func (c *Counters) Add(name string, delta int64) { c.Counter(name).Add(delta) }
+
+// Get returns the current value of a counter (0 if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.RLock()
+	v, ok := c.m[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return v.Load()
+}
+
+// Snapshot returns all counters as a name->value map.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// Write renders the counters in sorted order, one "name value" per line.
+func (c *Counters) Write(w io.Writer) {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "%s %d\n", k, snap[k])
+	}
+}
+
+// Default is the process-wide registry. Infrastructure that has no
+// natural place to thread an explicit registry through (the campaign
+// memo cache, the license pool) reports here, and the METRICS server
+// exposes it on /stats.
+var Default = NewCounters()
+
+// Add increments a counter on the Default registry.
+func Add(name string, delta int64) { Default.Add(name, delta) }
+
+// Get reads a counter from the Default registry.
+func Get(name string) int64 { return Default.Get(name) }

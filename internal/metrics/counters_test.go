@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("a", 1)
+				c.Add("b", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("a"); got != 800 {
+		t.Errorf("a = %d", got)
+	}
+	if got := c.Get("b"); got != 1600 {
+		t.Errorf("b = %d", got)
+	}
+	if got := c.Get("never"); got != 0 {
+		t.Errorf("untouched counter = %d", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap["a"] != 800 {
+		t.Errorf("snapshot %v", snap)
+	}
+}
+
+func TestCountersWriteSorted(t *testing.T) {
+	c := NewCounters()
+	c.Add("zeta", 1)
+	c.Add("alpha", 5)
+	var buf bytes.Buffer
+	c.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "alpha 5") || !strings.Contains(out, "zeta 1") {
+		t.Fatalf("output %q", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Error("counters not sorted")
+	}
+}

@@ -108,6 +108,8 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	acc, rej := s.Received()
 	fmt.Fprintf(w, "records=%d accepted=%d rejected=%d\n", s.Store.Len(), acc, rej)
+	// Process-wide infrastructure counters (campaign cache, pools).
+	Default.Write(w)
 }
 
 // Transmitter posts records to a METRICS server as XML over HTTP — the

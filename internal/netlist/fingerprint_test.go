@@ -1,0 +1,33 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cellib"
+)
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	lib := cellib.Default14nm()
+	a := Generate(lib, Tiny(1))
+	b := Generate(lib, Tiny(1))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical generation should fingerprint identically")
+	}
+	c := Generate(lib, Tiny(2))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different design seeds should fingerprint differently")
+	}
+	cl := a.Clone()
+	if a.Fingerprint() != cl.Fingerprint() {
+		t.Fatal("clone should preserve the fingerprint")
+	}
+	cl.Insts[0].X += 1
+	if a.Fingerprint() == cl.Fingerprint() {
+		t.Fatal("moving a cell should change the fingerprint")
+	}
+	cl2 := a.Clone()
+	cl2.ClockPeriodPs = a.ClockPeriodPs + 1
+	if a.Fingerprint() == cl2.Fingerprint() {
+		t.Fatal("changing the clock constraint should change the fingerprint")
+	}
+}

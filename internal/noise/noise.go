@@ -6,8 +6,10 @@
 package noise
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/campaign"
 	"repro/internal/flow"
 	"repro/internal/ml"
 	"repro/internal/netlist"
@@ -42,6 +44,13 @@ type Config struct {
 	Targets []float64
 	Steps   int // default 8
 	Seed    int64
+	// Workers is the concurrent-run limit for the sweep (0 = one per
+	// CPU). Per-run seeds are fixed by sweep position, so the results
+	// are bit-identical at any worker count.
+	Workers int
+	// Cache memoizes full-flow runs across studies (optional; only
+	// consulted when FullFlow is set).
+	Cache *campaign.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -66,22 +75,56 @@ func Sweep(design *netlist.Netlist, cfg Config) Study {
 			targets = append(targets, st.FMax*frac)
 		}
 	}
-	for _, f := range targets {
+	// Fan the whole (target x seed) grid out over the campaign engine.
+	// Each sample's seed is a pure function of its grid position —
+	// exactly the serial loop's formula — so parallel execution is
+	// bit-identical to the serial reference regardless of scheduling.
+	type sample struct {
+		area float64
+		met  bool
+	}
+	eng := campaign.New(campaign.Config{Workers: campaign.Workers(cfg.Workers), Cache: cfg.Cache})
+	grid := make([]sample, len(targets)*cfg.Seeds)
+	if cfg.FullFlow {
+		key := ""
+		if cfg.Cache != nil {
+			key = campaign.KeyFor(design)
+		}
+		pts := make([]campaign.Point, 0, len(grid))
+		for ti, f := range targets {
+			for s := 0; s < cfg.Seeds; s++ {
+				pts = append(pts, campaign.Point{
+					Design:    design,
+					DesignKey: key,
+					Options: flow.Options{
+						TargetFreqGHz: f,
+						Seed:          cfg.Seed + int64(1000*ti) + int64(s),
+					},
+				})
+			}
+		}
+		results, _ := eng.Run(context.Background(), pts)
+		for i, r := range results {
+			grid[i] = sample{area: r.AreaUm2, met: r.TimingMet}
+		}
+	} else {
+		campaign.Map(context.Background(), eng, len(grid), func(i int) struct{} { //nolint:errcheck
+			ti, s := i/cfg.Seeds, i%cfg.Seeds
+			r := synth.Run(design, synth.Options{
+				TargetFreqGHz: targets[ti],
+				Seed:          cfg.Seed + int64(1000*ti) + int64(s),
+			})
+			grid[i] = sample{area: r.AreaUm2, met: r.Met}
+			return struct{}{}
+		})
+	}
+	for ti, f := range targets {
 		p := Point{TargetFreqGHz: f}
 		met := 0
 		for s := 0; s < cfg.Seeds; s++ {
-			seed := cfg.Seed + int64(1000*len(st.Points)) + int64(s)
-			var area float64
-			var ok bool
-			if cfg.FullFlow {
-				r := flow.Run(design, flow.Options{TargetFreqGHz: f, Seed: seed})
-				area, ok = r.AreaUm2, r.TimingMet
-			} else {
-				r := synth.Run(design, synth.Options{TargetFreqGHz: f, Seed: seed})
-				area, ok = r.AreaUm2, r.Met
-			}
-			p.AreaSamples = append(p.AreaSamples, area)
-			if ok {
+			g := grid[ti*cfg.Seeds+s]
+			p.AreaSamples = append(p.AreaSamples, g.area)
+			if g.met {
 				met++
 			}
 		}

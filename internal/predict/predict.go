@@ -11,9 +11,11 @@
 package predict
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/campaign"
 	"repro/internal/flow"
 	"repro/internal/ml"
 	"repro/internal/netlist"
@@ -125,20 +127,46 @@ func StandardRopes() []Rope {
 
 func logDRV(d int) float64 { return math.Log10(float64(d) + 1) }
 
+// CampaignConfig tunes campaign execution. The zero value runs one
+// worker per CPU with no memoization.
+type CampaignConfig struct {
+	Workers int
+	Cache   *campaign.Cache
+}
+
 // Campaign runs the flow across designs, option variants and seeds and
 // returns the samples for rope evaluation.
 func Campaign(designs []*netlist.Netlist, variants []flow.Options, seedsPer int) []Sample {
-	var out []Sample
+	return CampaignWith(designs, variants, seedsPer, CampaignConfig{})
+}
+
+// CampaignWith is Campaign with execution knobs: the (design x variant x
+// seed) grid fans out over the campaign engine. Per-sample seeds are a
+// pure function of grid position — the serial loop's formula — so the
+// samples are bit-identical at any worker count.
+func CampaignWith(designs []*netlist.Netlist, variants []flow.Options, seedsPer int, cfg CampaignConfig) []Sample {
+	eng := campaign.New(campaign.Config{Workers: campaign.Workers(cfg.Workers), Cache: cfg.Cache})
+	var pts []campaign.Point
+	var stats []netlist.Stats // parallel to pts
 	for _, d := range designs {
-		stats := d.ComputeStats()
+		key := ""
+		if cfg.Cache != nil {
+			key = campaign.KeyFor(d)
+		}
+		st := d.ComputeStats()
 		for vi, v := range variants {
 			for s := 0; s < seedsPer; s++ {
 				opts := v
 				opts.Seed = v.Seed + int64(vi*1000+s)
-				res := flow.Run(d, opts)
-				out = append(out, Sample{Stats: stats, Result: res})
+				pts = append(pts, campaign.Point{Design: d, DesignKey: key, Options: opts})
+				stats = append(stats, st)
 			}
 		}
+	}
+	results, _ := eng.Run(context.Background(), pts) //nolint:errcheck // background ctx never cancels
+	out := make([]Sample, len(pts))
+	for i, r := range results {
+		out[i] = Sample{Stats: stats[i], Result: r}
 	}
 	return out
 }

@@ -9,7 +9,7 @@ import (
 	"repro/internal/netlist"
 )
 
-func campaign(t testing.TB) []Sample {
+func testCampaign(t testing.TB) []Sample {
 	t.Helper()
 	lib := cellib.Default14nm()
 	var designs []*netlist.Netlist
@@ -25,7 +25,7 @@ func campaign(t testing.TB) []Sample {
 }
 
 func TestCampaignSize(t *testing.T) {
-	samples := campaign(t)
+	samples := testCampaign(t)
 	if len(samples) != 3*3*3 {
 		t.Fatalf("%d samples", len(samples))
 	}
@@ -37,7 +37,7 @@ func TestCampaignSize(t *testing.T) {
 }
 
 func TestEvaluateRopes(t *testing.T) {
-	samples := campaign(t)
+	samples := testCampaign(t)
 	evals, err := Evaluate(StandardRopes(), samples, 0.25, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -4,7 +4,10 @@
 // is that constraint.
 package sched
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Pool limits concurrent task execution to a fixed number of licenses.
 type Pool struct {
@@ -15,6 +18,7 @@ type Pool struct {
 	peak    int
 	total   int
 	waiting int
+	maxWait int
 }
 
 // NewPool creates a pool with n licenses (n < 1 is clamped to 1).
@@ -31,13 +35,31 @@ func (p *Pool) Licenses() int { return p.licenses }
 // Run executes the tasks with at most Licenses() of them in flight at a
 // time, blocking until all complete.
 func (p *Pool) Run(tasks []func()) {
+	p.RunCtx(context.Background(), tasks) //nolint:errcheck // background ctx never cancels
+}
+
+// RunCtx executes the tasks under the license limit, blocking until all
+// complete or ctx is cancelled. All tasks are spawned immediately and
+// acquire a license from inside their goroutine, so task launch is never
+// serialized behind a full pool. On cancellation, tasks still waiting
+// for a license are abandoned (their functions never run), in-flight
+// tasks finish, and ctx.Err() is returned — the early-abort path a
+// doomed-run STOP uses to kill the rest of a campaign.
+func (p *Pool) RunCtx(ctx context.Context, tasks []func()) error {
 	sem := make(chan struct{}, p.licenses)
 	var wg sync.WaitGroup
 	for _, task := range tasks {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(f func()) {
 			defer wg.Done()
+			p.enqueue()
+			select {
+			case sem <- struct{}{}:
+				p.dequeue()
+			case <-ctx.Done():
+				p.dequeue()
+				return
+			}
 			p.enter()
 			f()
 			p.leave()
@@ -45,18 +67,42 @@ func (p *Pool) Run(tasks []func()) {
 		}(task)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Map runs f over 0..n-1 under the license limit and collects results.
 func Map[T any](p *Pool, n int, f func(i int) T) []T {
+	out, _ := MapCtx(context.Background(), p, n, f)
+	return out
+}
+
+// MapCtx runs f over 0..n-1 under the license limit with cancellation.
+// out[i] holds f(i) for every task that ran; slots of abandoned tasks
+// keep their zero value and the context error is returned.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, f func(i int) T) ([]T, error) {
 	out := make([]T, n)
 	tasks := make([]func(), n)
 	for i := 0; i < n; i++ {
 		i := i
 		tasks[i] = func() { out[i] = f(i) }
 	}
-	p.Run(tasks)
-	return out
+	err := p.RunCtx(ctx, tasks)
+	return out, err
+}
+
+func (p *Pool) enqueue() {
+	p.mu.Lock()
+	p.waiting++
+	if p.waiting > p.maxWait {
+		p.maxWait = p.waiting
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) dequeue() {
+	p.mu.Lock()
+	p.waiting--
+	p.mu.Unlock()
 }
 
 func (p *Pool) enter() {
@@ -75,10 +121,11 @@ func (p *Pool) leave() {
 	p.mu.Unlock()
 }
 
-// Stats reports usage counters: the peak concurrency observed and the
-// total tasks executed.
-func (p *Pool) Stats() (peak, total int) {
+// Stats reports usage counters: the peak concurrency observed, the total
+// tasks executed, and the peak number of tasks queued for a license (the
+// license-contention signal).
+func (p *Pool) Stats() (peak, total, maxWaiting int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.peak, p.total
+	return p.peak, p.total, p.maxWait
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestPoolRunsAllTasks(t *testing.T) {
 	if count != 20 {
 		t.Fatalf("ran %d tasks", count)
 	}
-	peak, total := p.Stats()
+	peak, total, _ := p.Stats()
 	if total != 20 {
 		t.Fatalf("total %d", total)
 	}
@@ -44,9 +45,12 @@ func TestPoolEnforcesLimit(t *testing.T) {
 	if violations > 0 {
 		t.Fatalf("%d concurrency violations", violations)
 	}
-	peak, _ := p.Stats()
+	peak, _, maxWait := p.Stats()
 	if peak != 2 {
 		t.Errorf("peak %d, want 2 (tasks should saturate the pool)", peak)
+	}
+	if maxWait == 0 {
+		t.Error("12 tasks on 2 licenses should have queued, maxWaiting = 0")
 	}
 }
 
@@ -75,7 +79,97 @@ func TestMapCollectsInOrder(t *testing.T) {
 func TestEmptyRun(t *testing.T) {
 	p := NewPool(2)
 	p.Run(nil)
-	if _, total := p.Stats(); total != 0 {
+	if _, total, _ := p.Stats(); total != 0 {
 		t.Fatal("phantom tasks")
+	}
+}
+
+// TestAdmissionNotSerialized is the regression test for the old
+// submitter-blocks-on-semaphore bug: with a full pool, later tasks must
+// already be spawned (counted as waiting) while early tasks run, so a
+// slow head task cannot delay the *launch* of the tail.
+func TestAdmissionNotSerialized(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	block := func() { <-release }
+	tasks := []func(){block, block, block}
+	done := make(chan struct{})
+	go func() {
+		p.Run(tasks)
+		close(done)
+	}()
+	// Whichever task holds the only license blocks on release, so the
+	// other two must both be queued — which only happens if Run spawns
+	// every task up front instead of admitting them one at a time.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, maxWait := p.Stats(); maxWait >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tail tasks were not spawned while head task held the license")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	if _, total, _ := p.Stats(); total != 3 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestRunCtxCancelAbandonsQueuedTasks(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	block := make(chan struct{})
+	var ran int64
+	tasks := make([]func(), 8)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt64(&ran, 1); <-block }
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- p.RunCtx(ctx, tasks) }()
+
+	waitFor := func(cond func() bool, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	queued := func() int { p.mu.Lock(); defer p.mu.Unlock(); return p.waiting }
+	// All tasks block, so one holds the only license and the other 7
+	// must already be spawned and queued — the spawn-first admission
+	// the old submitter-side semaphore serialized away.
+	waitFor(func() bool { return queued() == 7 }, "tail tasks to queue")
+	cancel() // the doomed-run STOP
+	// The license is still held, so every queued task can only abandon.
+	waitFor(func() bool { return queued() == 0 }, "queued tasks to abandon")
+	close(block)
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt64(&ran); got != 1 {
+		t.Fatalf("ran %d tasks, want exactly the in-flight one", got)
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, p, 5, func(i int) int { return i + 1 })
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("len %d", len(out))
+	}
+	for i, v := range out {
+		if v != 0 && v != i+1 {
+			t.Fatalf("out[%d] = %d, want 0 (abandoned) or %d", i, v, i+1)
+		}
 	}
 }

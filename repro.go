@@ -13,6 +13,9 @@
 package repro
 
 import (
+	"sync/atomic"
+
+	"repro/internal/campaign"
 	"repro/internal/cellib"
 	"repro/internal/core"
 	"repro/internal/flow"
@@ -76,3 +79,28 @@ type SearchResult = core.SearchResult
 func Search(design *Design, base FlowOptions, cons Constraints, cfg SearchConfig) (*SearchResult, error) {
 	return core.Search(design, base, cons, cfg)
 }
+
+// FlowCache memoizes flow results by (design, options) content; share
+// one across studies that revisit the same option points.
+type FlowCache = campaign.Cache
+
+// NewFlowCache creates a flow-result cache (capacity <= 0 = unbounded).
+func NewFlowCache(capacity int) *FlowCache { return campaign.NewCache(capacity) }
+
+// workers is the package-wide concurrent-run limit for the experiment
+// harnesses (0 = one worker per CPU).
+var workers atomic.Int64
+
+// SetWorkers caps concurrent runs in the experiment harnesses (n <= 0
+// restores the default: one worker per CPU). Every harness draws its
+// per-run seeds deterministically before fanning out, so the worker
+// count changes wall-clock time only, never results.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// WorkerCount reports the configured limit (0 = one per CPU).
+func WorkerCount() int { return int(workers.Load()) }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Tier-1 gate for the repository.
+#
+#   scripts/check.sh          vet + build + race-enabled tests
+#   scripts/check.sh bench    also run the campaign benchmark pair and
+#                             write the speedup to BENCH_campaign.json
+#
+# The bench mode runs BenchmarkCampaignSerial (the plain flow.Run loop)
+# against BenchmarkCampaignParallel (campaign engine + memo cache) on an
+# identical workload and emits one machine-readable line:
+#
+#   campaign_speedup_x=<serial ns/op divided by parallel ns/op>
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+if [ "${1:-}" = "bench" ]; then
+    out=$(go test -run=NONE -bench='BenchmarkCampaign(Serial|Parallel)$' -benchtime=3x .)
+    echo "$out"
+    echo "$out" | awk '
+        /BenchmarkCampaignSerial/   { serial = $3 }
+        /BenchmarkCampaignParallel/ { parallel = $3
+            for (i = 1; i <= NF; i++) {
+                if ($i == "cache_hit_rate") hit = $(i-1)
+                if ($i == "qor_area_sum")   qor = $(i-1)
+            }
+        }
+        END {
+            if (serial == "" || parallel == "" || parallel == 0) {
+                print "check.sh: could not parse benchmark output" > "/dev/stderr"
+                exit 1
+            }
+            speedup = serial / parallel
+            printf "campaign_speedup_x=%.2f\n", speedup
+            printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s}\n", \
+                serial, parallel, speedup, hit, qor > "BENCH_campaign.json"
+        }'
+fi
