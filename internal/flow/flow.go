@@ -15,6 +15,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/sizing"
 	"repro/internal/sta"
 	"repro/internal/synth"
 )
@@ -38,6 +39,13 @@ type Options struct {
 	// StopRouteAfter truncates detailed routing (set by doomed-run
 	// policies; 0 = run to completion).
 	StopRouteAfter int
+
+	// RecoverArea enables a post-signoff area-recovery pass: speculative
+	// downsizing on the incremental signoff timer (sizing.Recover),
+	// keeping WNS above RecoverMarginPs. Off by default — it changes the
+	// implemented netlist, so experiments opt in explicitly.
+	RecoverArea     bool
+	RecoverMarginPs float64 // slack floor for recovery (default 5 ps)
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +69,9 @@ type Result struct {
 	Global *route.GlobalResult
 	Route  *route.DetailResult
 	Sign   *sta.Report
+	// Recover is the post-signoff area-recovery result; nil unless
+	// Options.RecoverArea is set.
+	Recover *sizing.Result
 
 	// Headline QOR.
 	AreaUm2    float64 // cell area + clock buffers
@@ -215,6 +226,36 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 		"tns":     res.Sign.TNSPs,
 		"maxfreq": res.Sign.MaxFreqGHz,
 	}, nil)
+
+	// Optional area recovery on the incremental signoff timer: downsize
+	// whatever the flow left oversized while the margin holds, then
+	// refresh the signoff report if anything changed.
+	if opts.RecoverArea {
+		signCfg := sta.Config{
+			Engine:    sta.Signoff,
+			SI:        true,
+			ClockSkew: res.CTS.SkewPs,
+			DeratePct: opts.DeratePct,
+		}
+		rec := sizing.Recover(n, sizing.Config{
+			Seed:          subSeed(opts.Seed, 6),
+			Engine:        &signCfg,
+			SlackMarginPs: opts.RecoverMarginPs,
+		})
+		res.Recover = &rec
+		// Propagation work is measured in full-Analyze equivalents;
+		// convert to runtime via the signoff run's cost.
+		res.RuntimeProxy += rec.TimerWorkEquiv * res.Sign.CostUnits
+		if rec.Downsized > 0 {
+			res.Sign = sta.Analyze(n, signCfg)
+		}
+		emit("recover", map[string]float64{
+			"downsized":  float64(rec.Downsized),
+			"area":       rec.AreaAfter,
+			"wns":        res.Sign.WNSPs,
+			"timer_work": rec.TimerWorkEquiv,
+		}, nil)
+	}
 
 	res.AreaUm2 = n.Area() + res.CTS.AreaUm2
 	res.PowerNW = n.Leakage() + res.CTS.PowerNW

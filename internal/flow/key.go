@@ -12,11 +12,11 @@ import (
 // hash(design, Options) -> *Result.
 func (o Options) Key() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d",
+	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d rec=%t rm=%g",
 		o.TargetFreqGHz, o.Seed,
 		o.SynthEffort, o.MaxFanout, o.Utilization, o.PlaceMoves,
 		o.Partitions, o.TracksPerEdge, o.RouteEffort, o.RouteIters,
-		o.DeratePct, o.StopRouteAfter)
+		o.DeratePct, o.StopRouteAfter, o.RecoverArea, o.RecoverMarginPs)
 }
 
 // Hash returns the FNV-1a hash of Key, for shard selection and compact

@@ -34,6 +34,8 @@ func TestKeyDistinguishesEveryField(t *testing.T) {
 	add("route_iters", func(o *Options) { o.RouteIters = 10 })
 	add("derate", func(o *Options) { o.DeratePct = 3 })
 	add("stop_after", func(o *Options) { o.StopRouteAfter = 5 })
+	add("recover", func(o *Options) { o.RecoverArea = true })
+	add("recover_margin", func(o *Options) { o.RecoverMarginPs = 12 })
 
 	seen := map[string]string{base.Key(): "base"}
 	for name, o := range variants {

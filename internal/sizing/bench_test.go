@@ -1,0 +1,41 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// benchEngine is the signoff configuration the flow runs in-loop.
+var benchEngine = sta.Config{Engine: sta.Signoff, SI: true}
+
+// benchDesign is the shared pulpino-proxy recovery workload: oversized
+// cells and a relaxed clock, so Recover evaluates many candidates.
+func benchDesign(b *testing.B) *netlist.Netlist {
+	return looseDesign(b, cellib.Default14nm(), netlist.PulpinoProxy(7), benchEngine, 7)
+}
+
+func benchRecover(b *testing.B, force bool) {
+	base := benchDesign(b)
+	var res Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := base.Clone()
+		b.StartTimer()
+		res = Recover(n, Config{Seed: 7, MaxPasses: 2, Engine: &benchEngine, ForceFullSTA: force})
+	}
+	// Both variants must land on the same netlist; the metrics make the
+	// equality visible in benchmark output (and BENCH_sta.json).
+	b.ReportMetric(res.AreaAfter, "area_um2")
+	b.ReportMetric(res.WNSAfter, "wns_ps")
+}
+
+// BenchmarkRecoverFull is the pre-incremental baseline: one full
+// Analyze per candidate downsize.
+func BenchmarkRecoverFull(b *testing.B) { benchRecover(b, true) }
+
+// BenchmarkRecoverIncremental is the same recovery on sta.Incremental.
+func BenchmarkRecoverIncremental(b *testing.B) { benchRecover(b, false) }

@@ -14,16 +14,72 @@ type VTResult struct {
 	LeakageAfter  float64
 	Swapped       int
 	TimerRuns     int
-	Met           bool
+	// TimerWorkEquiv is the propagation work performed, in full-Analyze
+	// equivalents (see Result.TimerWorkEquiv).
+	TimerWorkEquiv float64
+	Met            bool
 }
 
 // RecoverVT swaps non-critical cells to the high-VT flavor while the
 // signoff timer confirms slack stays above the margin — the
 // "VT-swapping operations" of the paper's Sec. 3.2, which an overly
-// pessimistic timer would leave on the table. The netlist is modified
-// in place and must use a multi-VT library.
+// pessimistic timer would leave on the table. Candidate swaps are
+// speculative moves on the incremental timer: try, check, roll back in
+// O(touched cone) when the margin would be violated. The netlist is
+// modified in place and must use a multi-VT library.
 func RecoverVT(n *netlist.Netlist, cfg Config) VTResult {
 	cfg = cfg.withDefaults()
+	if cfg.ForceFullSTA {
+		return recoverVTFull(n, cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := VTResult{LeakageBefore: n.Leakage()}
+	inc := sta.NewIncremental(n, *cfg.Engine)
+	res.TimerRuns++
+	if inc.WNSPs() < cfg.SlackMarginPs {
+		res.LeakageAfter = res.LeakageBefore
+		res.Met = inc.WNSPs() >= 0
+		res.TimerWorkEquiv = inc.FullEquivalents()
+		return res
+	}
+	order := rng.Perm(n.NumCells())
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		changed := 0
+		for _, id := range order {
+			cell := n.Insts[id].Cell
+			if cell.VT == cellib.HVT {
+				continue
+			}
+			hvt, ok := n.Lib.WithVT(cell, cellib.HVT)
+			if !ok {
+				continue
+			}
+			inc.Checkpoint()
+			n.Insts[id].Cell = hvt
+			inc.Resize(id)
+			res.TimerRuns++
+			if inc.WNSPs() < cfg.SlackMarginPs {
+				n.Insts[id].Cell = cell // revert
+				inc.Rollback()
+				continue
+			}
+			inc.Commit()
+			changed++
+			res.Swapped++
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	res.LeakageAfter = n.Leakage()
+	res.Met = inc.WNSPs() >= 0
+	res.TimerWorkEquiv = inc.FullEquivalents()
+	return res
+}
+
+// recoverVTFull is RecoverVT with a full re-analysis per candidate
+// (ForceFullSTA) — the pre-incremental baseline.
+func recoverVTFull(n *netlist.Netlist, cfg Config) VTResult {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := VTResult{LeakageBefore: n.Leakage()}
 	rep := sta.Analyze(n, *cfg.Engine)
@@ -31,6 +87,7 @@ func RecoverVT(n *netlist.Netlist, cfg Config) VTResult {
 	if rep.WNSPs < cfg.SlackMarginPs {
 		res.LeakageAfter = res.LeakageBefore
 		res.Met = rep.WNSPs >= 0
+		res.TimerWorkEquiv = float64(res.TimerRuns)
 		return res
 	}
 	order := rng.Perm(n.NumCells())
@@ -62,5 +119,6 @@ func RecoverVT(n *netlist.Netlist, cfg Config) VTResult {
 	}
 	res.LeakageAfter = n.Leakage()
 	res.Met = rep.WNSPs >= 0
+	res.TimerWorkEquiv = float64(res.TimerRuns)
 	return res
 }

@@ -7,6 +7,11 @@
 // delay, optional SI coupling, optional path-based pessimism recovery).
 // Each report carries a simulated runtime cost, so the accuracy-versus-
 // cost tradeoff of the paper's Fig. 8 can be measured directly.
+//
+// Two evaluation modes share the same per-net arithmetic: Analyze runs a
+// full-graph propagation and is the oracle; Incremental holds the state
+// of one full analysis and re-propagates only the cone affected by a
+// change notification (see incremental.go).
 package sta
 
 import (
@@ -65,6 +70,17 @@ func (c Config) instDerate(inst int) float64 {
 	return c.InstDerate[inst]
 }
 
+// skew returns the clock arrival offset of an instance (0 when unset).
+func (c Config) skew(inst int) float64 {
+	if c.ClockSkew == nil || inst >= len(c.ClockSkew) {
+		return 0
+	}
+	return c.ClockSkew[inst]
+}
+
+// pbaApplies reports whether path-based recovery is in effect.
+func (c Config) pbaApplies() bool { return c.PathBased && c.Engine == Signoff }
+
 // Endpoint is a timing path endpoint (a flip-flop D pin or a net with an
 // external load) with its slack and path features. The feature fields
 // feed the ML correlation models of internal/correlate.
@@ -101,16 +117,24 @@ type Report struct {
 	// CriticalPath lists instance IDs on the worst path, launch to
 	// capture.
 	CriticalPath []int
+
+	// sorted caches the ascending-slack view served by WorstEndpoints,
+	// built once per report instead of copy+sort on every call.
+	sorted []Endpoint
 }
 
 // WorstEndpoints returns the k endpoints with smallest slack, ascending.
+// The returned slice is a view into a per-report cache shared by all
+// calls; callers must not modify it.
 func (r *Report) WorstEndpoints(k int) []Endpoint {
-	eps := append([]Endpoint(nil), r.Endpoints...)
-	sort.Slice(eps, func(i, j int) bool { return eps[i].SlackPs < eps[j].SlackPs })
-	if k > len(eps) {
-		k = len(eps)
+	if r.sorted == nil {
+		r.sorted = append([]Endpoint(nil), r.Endpoints...)
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i].SlackPs < r.sorted[j].SlackPs })
 	}
-	return eps[:k]
+	if k > len(r.sorted) {
+		k = len(r.sorted)
+	}
+	return r.sorted[:k]
 }
 
 // arrivalState tracks per-net timing during propagation.
@@ -119,15 +143,129 @@ type arrivalState struct {
 	slew    float64 // worst slew at net, ps
 	depth   int     // stages on worst path
 	wire    float64 // accumulated wire delay on worst path
-	from    int     // predecessor instance on worst path (-1 = source)
+	from    int     // fanin net of the driver on the worst path (-1 = source)
+}
+
+// globalDerate returns the stage-delay multiplier shared by every
+// instance: the uniform guardband times the corner cell factor.
+func globalDerate(cfg Config) float64 {
+	cellF, _, _ := cfg.Corner.factors()
+	return (1 + cfg.DeratePct/100) * cellF
+}
+
+// sourceState computes the timing state of a source net — a primary
+// input or a register Q output. ok is false when the net is neither (a
+// combinationally driven or clock net).
+func sourceState(n *netlist.Netlist, cfg Config, derate float64, netID int) (st arrivalState, ok bool) {
+	net := &n.Nets[netID]
+	if net.IsClock {
+		return arrivalState{}, false
+	}
+	if net.Driver < 0 {
+		return arrivalState{arrival: cfg.InputDelayPs, slew: 30, from: -1}, true
+	}
+	drv := &n.Insts[net.Driver]
+	if !drv.Cell.Class.Sequential() {
+		return arrivalState{}, false
+	}
+	w := wireDelay(n, netID, drv.Cell.Resist, cfg)
+	return arrivalState{
+		arrival: cfg.skew(net.Driver) + drv.Cell.ClkToQ*derate*cfg.instDerate(net.Driver) + w,
+		slew:    drv.Cell.Slew(n.NetLoad(netID)),
+		wire:    w,
+		from:    -1,
+	}, true
+}
+
+// combState computes the output-net state of a combinational instance
+// from the current states of its fanin nets. ok is false when the
+// instance is skipped by propagation (sequential, level 0, no output
+// net) or no fanin has a finite arrival.
+func combState(n *netlist.Netlist, cfg Config, derate float64, id int, state []arrivalState) (outNet int, st arrivalState, ok bool) {
+	inst := &n.Insts[id]
+	if inst.Cell.Class.Sequential() || inst.Level == 0 {
+		return -1, arrivalState{}, false
+	}
+	outNet = n.FanoutNet[id]
+	if outNet < 0 {
+		return -1, arrivalState{}, false
+	}
+	load := n.NetLoad(outNet)
+	var best arrivalState
+	best.arrival = math.Inf(-1)
+	for _, faninNet := range n.FaninNet[id] {
+		if faninNet < 0 {
+			continue
+		}
+		in := state[faninNet]
+		if math.IsInf(in.arrival, -1) {
+			continue
+		}
+		d := inst.Cell.Delay(load)
+		if cfg.Engine == Signoff {
+			// Slew-dependent stage delay: slow input edges
+			// stretch the stage. The fast engine ignores
+			// this, which is one miscorrelation source.
+			d *= 1 + in.slew/(900/derate)
+		}
+		d *= derate * cfg.instDerate(id)
+		a := in.arrival + d
+		if a > best.arrival {
+			best = arrivalState{
+				arrival: a,
+				slew:    inst.Cell.Slew(load),
+				depth:   in.depth + 1,
+				wire:    in.wire,
+				from:    faninNet,
+			}
+		}
+	}
+	if math.IsInf(best.arrival, -1) {
+		return -1, arrivalState{}, false
+	}
+	w := wireDelay(n, outNet, inst.Cell.Resist, cfg)
+	best.arrival += w
+	best.wire += w
+	return outNet, best, true
+}
+
+// ffEndpoint builds the setup endpoint of a flip-flop D pin from the
+// state of the net feeding it, including path-based recovery when the
+// configuration applies it.
+func ffEndpoint(n *netlist.Netlist, cfg Config, setupF float64, ff, dNet int, st arrivalState) Endpoint {
+	required := n.ClockPeriodPs + cfg.skew(ff) - n.Insts[ff].Cell.SetupTime*(1+cfg.DeratePct/100)*setupF
+	ep := Endpoint{
+		Inst: ff, Net: dNet,
+		SlackPs: required - st.arrival, Arrival: st.arrival,
+		Depth: st.depth, WirePs: st.wire, SlewPs: st.slew,
+		FanoutLd: n.NetLoad(dNet),
+	}
+	if cfg.pbaApplies() {
+		ep.SlackPs += pbaRecovery(&ep)
+	}
+	return ep
+}
+
+// netEndpoint builds the endpoint of an externally loaded net.
+func netEndpoint(n *netlist.Netlist, cfg Config, netID int, st arrivalState) Endpoint {
+	ep := Endpoint{
+		Inst: -1, Net: netID,
+		SlackPs: n.ClockPeriodPs - st.arrival, Arrival: st.arrival,
+		Depth: st.depth, WirePs: st.wire, SlewPs: st.slew,
+		FanoutLd: n.NetLoad(netID),
+	}
+	if cfg.pbaApplies() {
+		ep.SlackPs += pbaRecovery(&ep)
+	}
+	return ep
 }
 
 // Analyze runs static timing analysis and returns a report. The netlist's
 // ClockPeriodPs is the setup constraint.
 func Analyze(n *netlist.Netlist, cfg Config) *Report {
 	r := &Report{Engine: cfg.Engine, PathBased: cfg.PathBased, SI: cfg.SI, WNSPs: math.Inf(1)}
-	cellF, _, setupF := cfg.Corner.factors()
-	derate := (1 + cfg.DeratePct/100) * cellF
+	_, _, setupF := cfg.Corner.factors()
+	derate := globalDerate(cfg)
 
 	state := make([]arrivalState, len(n.Nets))
 	for i := range state {
@@ -135,88 +273,21 @@ func Analyze(n *netlist.Netlist, cfg Config) *Report {
 		state[i].from = -1
 	}
 
-	skew := func(inst int) float64 {
-		if cfg.ClockSkew == nil || inst >= len(cfg.ClockSkew) {
-			return 0
-		}
-		return cfg.ClockSkew[inst]
-	}
-
 	// Source arrivals: primary inputs and register Q pins.
 	for i := range n.Nets {
-		net := &n.Nets[i]
-		if net.IsClock {
-			continue
-		}
-		if net.Driver < 0 {
-			state[i] = arrivalState{arrival: cfg.InputDelayPs, slew: 30, from: -1}
-			continue
-		}
-		drv := &n.Insts[net.Driver]
-		if drv.Cell.Class.Sequential() {
-			st := arrivalState{
-				arrival: skew(net.Driver) + drv.Cell.ClkToQ*derate*cfg.instDerate(net.Driver),
-				slew:    drv.Cell.Slew(n.NetLoad(i)),
-				from:    -1,
-			}
-			st.arrival += wireDelay(n, i, drv.Cell.Resist, cfg)
-			st.wire = wireDelay(n, i, drv.Cell.Resist, cfg)
+		if st, ok := sourceState(n, cfg, derate, i); ok {
 			state[i] = st
 		}
 	}
 
 	// Topological propagation through combinational logic.
 	for _, id := range n.TopoOrder() {
-		inst := &n.Insts[id]
-		if inst.Cell.Class.Sequential() || inst.Level == 0 {
-			continue
+		if outNet, st, ok := combState(n, cfg, derate, id, state); ok {
+			state[outNet] = st
 		}
-		outNet := n.FanoutNet[id]
-		if outNet < 0 {
-			continue
-		}
-		load := n.NetLoad(outNet)
-		var best arrivalState
-		best.arrival = math.Inf(-1)
-		for _, faninNet := range n.FaninNet[id] {
-			if faninNet < 0 {
-				continue
-			}
-			in := state[faninNet]
-			if math.IsInf(in.arrival, -1) {
-				continue
-			}
-			d := inst.Cell.Delay(load)
-			if cfg.Engine == Signoff {
-				// Slew-dependent stage delay: slow input edges
-				// stretch the stage. The fast engine ignores
-				// this, which is one miscorrelation source.
-				d *= 1 + in.slew/(900/derate)
-			}
-			d *= derate * cfg.instDerate(id)
-			a := in.arrival + d
-			if a > best.arrival {
-				best = arrivalState{
-					arrival: a,
-					slew:    inst.Cell.Slew(load),
-					depth:   in.depth + 1,
-					wire:    in.wire,
-					from:    -1,
-				}
-				best.from = prevInstOfNet(n, faninNet, state)
-			}
-		}
-		if math.IsInf(best.arrival, -1) {
-			continue
-		}
-		w := wireDelay(n, outNet, inst.Cell.Resist, cfg)
-		best.arrival += w
-		best.wire += w
-		state[outNet] = best
 	}
 
 	// Endpoints: flip-flop D pins and externally loaded nets.
-	period := n.ClockPeriodPs
 	var worstEnd Endpoint
 	worstEnd.SlackPs = math.Inf(1)
 	addEndpoint := func(ep Endpoint) {
@@ -239,13 +310,7 @@ func Analyze(n *netlist.Netlist, cfg Config) *Report {
 		if math.IsInf(st.arrival, -1) {
 			continue
 		}
-		required := period + skew(ff) - n.Insts[ff].Cell.SetupTime*(1+cfg.DeratePct/100)*setupF
-		addEndpoint(Endpoint{
-			Inst: ff, Net: dNet,
-			SlackPs: required - st.arrival, Arrival: st.arrival,
-			Depth: st.depth, WirePs: st.wire, SlewPs: st.slew,
-			FanoutLd: n.NetLoad(dNet),
-		})
+		addEndpoint(ffEndpoint(n, cfg, setupF, ff, dNet, st))
 	}
 	for i := range n.Nets {
 		if n.Nets[i].ExternalCap <= 0 || n.Nets[i].IsClock {
@@ -255,38 +320,11 @@ func Analyze(n *netlist.Netlist, cfg Config) *Report {
 		if math.IsInf(st.arrival, -1) {
 			continue
 		}
-		addEndpoint(Endpoint{
-			Inst: -1, Net: i,
-			SlackPs: period - st.arrival, Arrival: st.arrival,
-			Depth: st.depth, WirePs: st.wire, SlewPs: st.slew,
-			FanoutLd: n.NetLoad(i),
-		})
+		addEndpoint(netEndpoint(n, cfg, i, st))
 	}
 
 	if len(r.Endpoints) == 0 {
-		r.WNSPs = period
-	}
-
-	// Path-based analysis recovers part of the graph-based slew
-	// pessimism on the worst paths: the worst slew merged at each node
-	// rarely belongs to the worst-arrival path. Model the recovery as a
-	// bounded fraction of accumulated stage count.
-	if cfg.PathBased && cfg.Engine == Signoff {
-		for i := range r.Endpoints {
-			rec := pbaRecovery(&r.Endpoints[i])
-			r.Endpoints[i].SlackPs += rec
-		}
-		r.WNSPs, r.TNSPs, r.Violations = math.Inf(1), 0, 0
-		for _, ep := range r.Endpoints {
-			if ep.SlackPs < r.WNSPs {
-				r.WNSPs = ep.SlackPs
-				worstEnd = ep
-			}
-			if ep.SlackPs < 0 {
-				r.TNSPs += ep.SlackPs
-				r.Violations++
-			}
-		}
+		r.WNSPs = n.ClockPeriodPs
 	}
 
 	// Critical path retrace.
@@ -296,7 +334,7 @@ func Analyze(n *netlist.Netlist, cfg Config) *Report {
 
 	// Max frequency: arrival of the worst endpoint fixes the minimum
 	// feasible period.
-	worstArrival := period - r.WNSPs
+	worstArrival := n.ClockPeriodPs - r.WNSPs
 	if worstArrival > 0 {
 		r.MaxFreqGHz = 1000 / worstArrival
 	}
@@ -337,21 +375,12 @@ func wireDelay(n *netlist.Netlist, netID int, driverResist float64, cfg Config) 
 	}
 }
 
-// prevInstOfNet returns the instance driving the net, or the from-field of
-// its state for source nets.
-func prevInstOfNet(n *netlist.Netlist, netID int, state []arrivalState) int {
-	if n.Nets[netID].Driver >= 0 {
-		return n.Nets[netID].Driver
-	}
-	return -1
-}
-
 // retrace walks from an endpoint net back to the launch point via the
-// recorded worst-arrival predecessors.
+// recorded worst-path fanin nets.
 func retrace(n *netlist.Netlist, endNet int, state []arrivalState) []int {
 	var path []int
 	netID := endNet
-	for steps := 0; steps < len(n.Insts)+2; steps++ {
+	for steps := 0; steps < len(n.Insts)+2 && netID >= 0; steps++ {
 		drv := n.Nets[netID].Driver
 		if drv < 0 {
 			break
@@ -360,17 +389,7 @@ func retrace(n *netlist.Netlist, endNet int, state []arrivalState) []int {
 		if n.Insts[drv].Cell.Class.Sequential() {
 			break
 		}
-		// Follow the worst fanin recorded for the driver's output.
-		from := state[netID].from
-		if from < 0 {
-			// Worst fanin was a source net; find it for completeness.
-			break
-		}
-		next := n.FanoutNet[from]
-		if next < 0 || next == netID {
-			break
-		}
-		netID = next
+		netID = state[netID].from
 	}
 	// Reverse to launch->capture order.
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {

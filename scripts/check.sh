@@ -2,14 +2,20 @@
 # Tier-1 gate for the repository.
 #
 #   scripts/check.sh          vet + build + race-enabled tests
-#   scripts/check.sh bench    also run the campaign benchmark pair and
-#                             write the speedup to BENCH_campaign.json
+#   scripts/check.sh bench    also run the benchmark pairs and write the
+#                             speedups to BENCH_campaign.json / BENCH_sta.json
 #
 # The bench mode runs BenchmarkCampaignSerial (the plain flow.Run loop)
-# against BenchmarkCampaignParallel (campaign engine + memo cache) on an
-# identical workload and emits one machine-readable line:
+# against BenchmarkCampaignParallel (campaign engine + memo cache), and
+# BenchmarkRecoverFull (full sta.Analyze per candidate downsize) against
+# BenchmarkRecoverIncremental (sta.Incremental dirty-frontier engine) on
+# identical workloads, emitting machine-readable lines:
 #
 #   campaign_speedup_x=<serial ns/op divided by parallel ns/op>
+#   sta_recover_speedup_x=<full ns/op divided by incremental ns/op>
+#
+# The sta pair is gated: the incremental engine must be >= 10x faster at
+# pulpino-proxy scale AND land on the identical final area/WNS.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -37,5 +43,38 @@ if [ "${1:-}" = "bench" ]; then
             printf "campaign_speedup_x=%.2f\n", speedup
             printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s}\n", \
                 serial, parallel, speedup, hit, qor > "BENCH_campaign.json"
+        }'
+
+    out=$(go test -run=NONE -bench='BenchmarkRecover(Full|Incremental)$' -benchtime=1x ./internal/sizing/)
+    echo "$out"
+    echo "$out" | awk '
+        function metric(name,   i) {
+            for (i = 1; i <= NF; i++) if ($i == name) return $(i-1)
+            return ""
+        }
+        /BenchmarkRecoverFull/ {
+            full = $3; full_area = metric("area_um2"); full_wns = metric("wns_ps")
+        }
+        /BenchmarkRecoverIncremental/ {
+            incr = $3; incr_area = metric("area_um2"); incr_wns = metric("wns_ps")
+        }
+        END {
+            if (full == "" || incr == "" || incr == 0) {
+                print "check.sh: could not parse sta benchmark output" > "/dev/stderr"
+                exit 1
+            }
+            speedup = full / incr
+            printf "sta_recover_speedup_x=%.2f\n", speedup
+            printf "{\"benchmark\":\"sta_recover\",\"full_ns_per_op\":%s,\"incremental_ns_per_op\":%s,\"speedup_x\":%.2f,\"area_um2\":%s,\"wns_ps\":%s}\n", \
+                full, incr, speedup, incr_area, incr_wns > "BENCH_sta.json"
+            if (full_area != incr_area || full_wns != incr_wns) {
+                printf "check.sh: full/incremental QoR mismatch: area %s vs %s, wns %s vs %s\n", \
+                    full_area, incr_area, full_wns, incr_wns > "/dev/stderr"
+                exit 1
+            }
+            if (speedup < 10) {
+                printf "check.sh: sta recover speedup %.2fx below 10x gate\n", speedup > "/dev/stderr"
+                exit 1
+            }
         }'
 fi
