@@ -7,6 +7,9 @@
 //	doomed -fig9          # representative DRV trajectories
 //	doomed -card          # the strategy card
 //	doomed -table         # the Type1/Type2 error table
+//	doomed -doomed-live   # live abort: card STOPs runs mid-route and
+//	                      # reports reclaimed license-iterations vs the
+//	                      # post-hoc baseline
 //	doomed -all           # everything
 //	      [-scale small|paper] [-seed 1] [-parallel N]
 package main
@@ -23,6 +26,7 @@ func main() {
 	fig9 := flag.Bool("fig9", false, "print DRV trajectories (Fig. 9)")
 	card := flag.Bool("card", false, "print the MDP strategy card (Fig. 10)")
 	table := flag.Bool("table", false, "print the consecutive-STOP error table (Table 1)")
+	live := flag.Bool("doomed-live", false, "run the test corpus under live MDP supervision and report reclaimed license-iterations")
 	all := flag.Bool("all", false, "print everything")
 	scale := flag.String("scale", "small", "experiment scale: small or paper")
 	seed := flag.Int64("seed", 1, "experiment seed")
@@ -34,7 +38,7 @@ func main() {
 	if *scale == "paper" {
 		s = repro.Paper
 	}
-	if !*fig9 && !*card && !*table && !*all {
+	if !*fig9 && !*card && !*table && !*live && !*all {
 		*all = true
 	}
 	if *all || *fig9 {
@@ -47,5 +51,11 @@ func main() {
 	}
 	if *all || *table {
 		repro.Table1(s, *seed).Print(os.Stdout)
+		if *all || *live {
+			fmt.Println()
+		}
+	}
+	if *all || *live {
+		repro.DoomedLive(s, *seed).Print(os.Stdout)
 	}
 }

@@ -283,7 +283,7 @@ func Fig7Robustness(seed int64) BanditRobustness {
 	// accumulation identical to the serial loop.
 	const seedsPer = 6
 	eng := campaign.New(campaign.Config{Workers: campaign.Workers(WorkerCount())})
-	perSetting, _ := campaign.Map(context.Background(), eng, len(settings), //nolint:errcheck // background ctx never cancels
+	perSetting, _, _ := campaign.Map(context.Background(), eng, len(settings), //nolint:errcheck // background ctx never cancels
 		func(i int) map[string]float64 {
 			st := settings[i]
 			totals := map[string]float64{}

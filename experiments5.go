@@ -53,7 +53,7 @@ func LastMile(scale Scale, seed int64) LastMileResult {
 
 	// (i) DRC fixing.
 	type drcTrial struct{ robot, naive float64 }
-	drc, _ := campaign.Map(ctx, eng, trials, func(i int) drcTrial { //nolint:errcheck // background ctx never cancels
+	drc, _, _ := campaign.Map(ctx, eng, trials, func(i int) drcTrial { //nolint:errcheck // background ctx never cancels
 		s := int64(i)
 		fr := drcfix.NewField(60, 12, seed+s)
 		fn := drcfix.NewField(60, 12, seed+s)
@@ -98,7 +98,7 @@ func LastMile(scale Scale, seed int64) LastMileResult {
 		robotWL, randomWL float64
 		legal             bool
 	}
-	mem, _ := campaign.Map(ctx, eng, trials, func(i int) memTrial { //nolint:errcheck // background ctx never cancels
+	mem, _, _ := campaign.Map(ctx, eng, trials, func(i int) memTrial { //nolint:errcheck // background ctx never cancels
 		s := int64(i)
 		rng := rand.New(rand.NewSource(seed + s))
 		b := memplace.Block{W: 100, H: 100}
@@ -127,7 +127,7 @@ func LastMile(scale Scale, seed int64) LastMileResult {
 		robotCross, greedyCross int
 		robotLen, greedyLen     float64
 	}
-	pkg, _ := campaign.Map(ctx, eng, trials, func(i int) pkgTrial { //nolint:errcheck // background ctx never cancels
+	pkg, _, _ := campaign.Map(ctx, eng, trials, func(i int) pkgTrial { //nolint:errcheck // background ctx never cancels
 		s := int64(i)
 		rng := rand.New(rand.NewSource(seed + s))
 		sigs := make([]pkglayout.Signal, 14)

@@ -36,14 +36,25 @@ type Cache struct {
 
 type cacheShard struct {
 	mu       sync.RWMutex
-	entries  map[string]*flow.Result
+	entries  map[string]*cacheEntry
 	order    []string // insertion order, for FIFO eviction
 	inflight map[string]*inflightCall
 }
 
+// cacheEntry pairs a memoized result with the step records its compute
+// emitted, so a cache hit can replay the records to the campaign's
+// Observer — a memoized point is then observationally identical to a
+// computed one.
+type cacheEntry struct {
+	res   *flow.Result
+	steps []flow.StepRecord
+}
+
 type inflightCall struct {
-	done chan struct{}
-	res  *flow.Result
+	done  chan struct{}
+	res   *flow.Result
+	steps []flow.StepRecord
+	err   error
 }
 
 // NewCache creates a memo cache holding up to capacity results
@@ -59,7 +70,7 @@ func NewCache(capacity int) *Cache {
 		}
 	}
 	for i := range c.shards {
-		c.shards[i].entries = map[string]*flow.Result{}
+		c.shards[i].entries = map[string]*cacheEntry{}
 		c.shards[i].inflight = map[string]*inflightCall{}
 	}
 	return c
@@ -79,16 +90,16 @@ func (c *Cache) shard(key string) *cacheShard {
 func (c *Cache) Get(key string) (*flow.Result, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
-	r, ok := s.entries[key]
+	e, ok := s.entries[key]
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 		metrics.Add("campaign.cache.hit", 1)
-	} else {
-		c.misses.Add(1)
-		metrics.Add("campaign.cache.miss", 1)
+		return e.res, true
 	}
-	return r, ok
+	c.misses.Add(1)
+	metrics.Add("campaign.cache.miss", 1)
+	return nil, false
 }
 
 // Do returns the cached result for key, computing and storing it on a
@@ -96,22 +107,42 @@ func (c *Cache) Get(key string) (*flow.Result, bool) {
 // the rest wait and share the result (counted as hits, plus a coalesced
 // marker).
 func (c *Cache) Do(key string, compute func() *flow.Result) *flow.Result {
+	res, _, _, _ := c.DoRecorded(key, func() (*flow.Result, []flow.StepRecord, error) { //nolint:errcheck // compute never errors
+		return compute(), nil, nil
+	})
+	return res
+}
+
+// DoRecorded is Do with step-record capture and failure awareness:
+// compute returns the result plus the step records it emitted, which
+// are stored alongside the result and handed back on every future hit
+// (hit=true) so callers can replay them to their Observer. A compute
+// error is propagated to the caller and to every coalesced waiter, and
+// nothing is cached — a failed or aborted run must never be served as a
+// memoized result.
+func (c *Cache) DoRecorded(key string, compute func() (*flow.Result, []flow.StepRecord, error)) (res *flow.Result, steps []flow.StepRecord, hit bool, err error) {
 	s := c.shard(key)
 	s.mu.Lock()
-	if r, ok := s.entries[key]; ok {
+	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
 		c.hits.Add(1)
 		metrics.Add("campaign.cache.hit", 1)
-		return r
+		return e.res, e.steps, true, nil
 	}
 	if call, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		<-call.done
+		if call.err != nil {
+			// The computing caller failed; surface its error so the
+			// waiter's own retry loop can re-attempt (and coalesce
+			// again) rather than treating the point as memoized-failed.
+			return nil, nil, false, call.err
+		}
 		c.hits.Add(1)
 		c.coalesced.Add(1)
 		metrics.Add("campaign.cache.hit", 1)
 		metrics.Add("campaign.cache.coalesced", 1)
-		return call.res
+		return call.res, call.steps, true, nil
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	s.inflight[key] = call
@@ -119,19 +150,21 @@ func (c *Cache) Do(key string, compute func() *flow.Result) *flow.Result {
 
 	c.misses.Add(1)
 	metrics.Add("campaign.cache.miss", 1)
-	call.res = compute()
+	call.res, call.steps, call.err = compute()
 
 	s.mu.Lock()
 	delete(s.inflight, key)
-	c.insert(s, key, call.res)
+	if call.err == nil {
+		c.insert(s, key, &cacheEntry{res: call.res, steps: call.steps})
+	}
 	s.mu.Unlock()
 	close(call.done)
-	return call.res
+	return call.res, call.steps, false, call.err
 }
 
 // insert stores an entry, evicting the shard's oldest if at capacity.
 // Caller holds s.mu.
-func (c *Cache) insert(s *cacheShard, key string, r *flow.Result) {
+func (c *Cache) insert(s *cacheShard, key string, e *cacheEntry) {
 	if _, exists := s.entries[key]; !exists {
 		if c.capPerShard > 0 && len(s.order) >= c.capPerShard {
 			oldest := s.order[0]
@@ -142,7 +175,7 @@ func (c *Cache) insert(s *cacheShard, key string, r *flow.Result) {
 		}
 		s.order = append(s.order, key)
 	}
-	s.entries[key] = r
+	s.entries[key] = e
 }
 
 // Len returns the number of cached results.

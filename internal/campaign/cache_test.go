@@ -126,3 +126,92 @@ func TestCacheCoalescesConcurrentComputes(t *testing.T) {
 		t.Error("no waiter coalesced onto the in-flight compute")
 	}
 }
+
+// TestDoRecordedErrorNeverCached: a failed compute must not be
+// memoized — the retry loop depends on the next attempt recomputing —
+// and coalesced waiters must see the error rather than a phantom hit.
+func TestDoRecordedErrorNeverCached(t *testing.T) {
+	c := NewCache(0)
+	boom := fmt.Errorf("tool crash")
+	var calls atomic.Int32
+	fail := func() (*flow.Result, []flow.StepRecord, error) {
+		calls.Add(1)
+		return nil, nil, boom
+	}
+
+	if _, _, hit, err := c.DoRecorded("k", fail); hit || err != boom {
+		t.Fatalf("hit=%t err=%v, want miss with error", hit, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error was cached")
+	}
+	// Second attempt recomputes, and success after failure caches.
+	res, steps, hit, err := c.DoRecorded("k", func() (*flow.Result, []flow.StepRecord, error) {
+		calls.Add(1)
+		return &flow.Result{AreaUm2: 2}, []flow.StepRecord{{Step: "synth"}}, nil
+	})
+	if err != nil || hit || res.AreaUm2 != 2 || len(steps) != 1 {
+		t.Fatalf("recovery compute: res=%+v steps=%d hit=%t err=%v", res, len(steps), hit, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls.Load())
+	}
+	got, gotSteps, hit, err := c.DoRecorded("k", fail)
+	if err != nil || !hit || got.AreaUm2 != 2 || len(gotSteps) != 1 {
+		t.Fatalf("post-recovery lookup: res=%+v hit=%t err=%v", got, hit, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatal("cached entry recomputed")
+	}
+}
+
+// TestDoRecordedCoalescedError: concurrent callers coalesced behind a
+// failing compute all receive the error; none of them is handed a nil
+// result marked as a hit.
+func TestDoRecordedCoalescedError(t *testing.T) {
+	c := NewCache(0)
+	boom := fmt.Errorf("license lost")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int32
+
+	go c.DoRecorded("k", func() (*flow.Result, []flow.StepRecord, error) {
+		computes.Add(1)
+		close(started)
+		<-release
+		return nil, nil, boom
+	})
+	<-started
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, hits[i], errs[i] = c.DoRecorded("k", func() (*flow.Result, []flow.StepRecord, error) {
+				computes.Add(1)
+				return nil, nil, boom
+			})
+		}(i)
+	}
+	// Give the waiters a moment to pile up behind the inflight call,
+	// then let it fail.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if hits[i] {
+			t.Fatalf("waiter %d reported a hit on a failed compute", i)
+		}
+		if errs[i] != boom {
+			t.Fatalf("waiter %d err = %v, want the compute error", i, errs[i])
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute left a cache entry")
+	}
+}

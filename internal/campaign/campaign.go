@@ -16,11 +16,16 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/flow"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/route"
 	"repro/internal/sched"
 )
 
@@ -57,6 +62,18 @@ func Points(design *netlist.Netlist, key string, base flow.Options, seeds []int6
 	return pts
 }
 
+// Retry configures fault tolerance: how many times a failed point is
+// re-run before the campaign gives it up.
+type Retry struct {
+	// Max is the number of re-runs after the first attempt (0 = fail
+	// fast on the first fault).
+	Max int
+	// Backoff is the pause before re-running a failed point, scaled
+	// linearly by the attempt number (license servers recover; hammering
+	// them does not help). Zero means retry immediately.
+	Backoff time.Duration
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers is the concurrent flow-run limit (the license count).
@@ -66,20 +83,30 @@ type Config struct {
 	Pool *sched.Pool
 	// Cache enables flow-result memoization when non-nil.
 	Cache *Cache
-	// Observer receives step records from every flow run. Note that
-	// with more than one worker, records from different points
-	// interleave (records within one run stay ordered), and memoized
-	// points emit no records — instrumented campaigns that need one
-	// record set per point should run uncached.
+	// Observer receives step records from every flow run. With more
+	// than one worker, records from different points interleave
+	// (records within one run stay ordered). Memoized points replay the
+	// step records captured when their result was first computed, so
+	// cached campaigns still deliver one record set per point.
 	Observer flow.Observer
+	// Retry re-runs points that fail with a tool fault. Failed attempts
+	// are never cached, so a retry always recomputes.
+	Retry Retry
+	// Faults injects deterministic tool crashes / license drops at flow
+	// stage boundaries (nil = no injection). With Retry.Max large
+	// enough for every point to eventually succeed, campaign results
+	// are bit-identical to the fault-free run at any worker count.
+	Faults *flow.FaultInjector
 }
 
 // Engine executes campaigns. The zero-value Engine is not usable; build
 // one with New.
 type Engine struct {
-	pool  *sched.Pool
-	cache *Cache
-	obs   flow.Observer
+	pool   *sched.Pool
+	cache  *Cache
+	obs    flow.Observer
+	retry  Retry
+	faults *flow.FaultInjector
 }
 
 // New creates an engine.
@@ -92,7 +119,7 @@ func New(cfg Config) *Engine {
 		}
 		pool = sched.NewPool(w)
 	}
-	return &Engine{pool: pool, cache: cfg.Cache, obs: cfg.Observer}
+	return &Engine{pool: pool, cache: cfg.Cache, obs: cfg.Observer, retry: cfg.Retry, faults: cfg.Faults}
 }
 
 // Pool returns the engine's license pool (for Stats).
@@ -101,30 +128,196 @@ func (e *Engine) Pool() *sched.Pool { return e.pool }
 // Cache returns the engine's memo cache (nil if memoization is off).
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// PointError is one point's permanent failure (all retries exhausted).
+type PointError struct {
+	Index int
+	Err   error
+}
+
+// RunError aggregates the permanently failed points of a campaign whose
+// other points completed.
+type RunError struct {
+	Failed []PointError
+}
+
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d point(s) failed permanently:", len(e.Failed))
+	for i, f := range e.Failed {
+		if i == 4 {
+			fmt.Fprintf(&b, " ... (%d more)", len(e.Failed)-i)
+			break
+		}
+		fmt.Fprintf(&b, " [%d] %v;", f.Index, f.Err)
+	}
+	return b.String()
+}
+
+// pointOutcome is runPoint's result: exactly one of res/err is set.
+type pointOutcome struct {
+	res *flow.Result
+	err error
+}
+
 // Run executes every point and returns results in point order:
 // out[i] corresponds to pts[i] no matter how the scheduler interleaves
 // the work. On context cancellation it returns early with ctx.Err();
-// points not yet started stay nil in the output.
+// abandoned points stay nil in the output and are never recorded as
+// computed flow results. Points that fail with a tool fault are retried
+// per Config.Retry; a point that fails permanently stays nil and Run
+// returns a *RunError listing it.
 func (e *Engine) Run(ctx context.Context, pts []Point) ([]*flow.Result, error) {
-	return sched.MapCtx(ctx, e.pool, len(pts), func(i int) *flow.Result {
-		return e.runPoint(pts[i])
+	outs, ran, err := sched.MapCtx(ctx, e.pool, len(pts), func(i int) pointOutcome {
+		return e.runPoint(ctx, pts[i])
 	})
+	results := make([]*flow.Result, len(pts))
+	var failed []PointError
+	abandoned := 0
+	for i := range outs {
+		switch {
+		case !ran[i]:
+			abandoned++
+		case outs[i].err != nil:
+			if ctx.Err() == nil {
+				failed = append(failed, PointError{Index: i, Err: outs[i].err})
+			}
+		default:
+			results[i] = outs[i].res
+		}
+	}
+	if abandoned > 0 {
+		metrics.Add("campaign.abandoned", int64(abandoned))
+	}
+	if err != nil {
+		return results, err
+	}
+	if len(failed) > 0 {
+		return results, &RunError{Failed: failed}
+	}
+	return results, nil
 }
 
-func (e *Engine) runPoint(p Point) *flow.Result {
-	if e.cache == nil || p.DesignKey == "" {
-		return flow.RunObserved(p.Design, p.Options, e.obs)
+// runPoint executes one point with the engine's retry policy. Attempt
+// numbers feed the fault injector, so a retried point draws fresh fault
+// coins while staying deterministic at any worker count.
+func (e *Engine) runPoint(ctx context.Context, p Point) pointOutcome {
+	var lastErr error
+	for attempt := 0; attempt <= e.retry.Max; attempt++ {
+		if attempt > 0 {
+			metrics.Add("campaign.retry", 1)
+			if e.retry.Backoff > 0 {
+				select {
+				case <-time.After(time.Duration(attempt) * e.retry.Backoff):
+				case <-ctx.Done():
+					return pointOutcome{err: ctx.Err()}
+				}
+			}
+		}
+		res, err := e.runOnce(ctx, p, attempt)
+		if err == nil {
+			return pointOutcome{res: res}
+		}
+		if ctx.Err() != nil {
+			// Cancellation is a campaign decision, not a tool fault —
+			// never retried, never recorded.
+			return pointOutcome{err: ctx.Err()}
+		}
+		countFault(err)
+		lastErr = err
 	}
-	return e.cache.Do(p.cacheKey(), func() *flow.Result {
-		return flow.RunObserved(p.Design, p.Options, e.obs)
+	metrics.Add("campaign.point_failed", 1)
+	return pointOutcome{err: lastErr}
+}
+
+// runOnce is a single attempt at a point: cache-aware, observer-aware.
+func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Result, error) {
+	if e.cache == nil || p.DesignKey == "" {
+		res, err := flow.RunFault(ctx, p.Design, p.Options, e.obs, e.faults, attempt)
+		if err != nil {
+			return nil, err
+		}
+		e.countStopped(res)
+		return res, nil
+	}
+	res, steps, hit, err := e.cache.DoRecorded(p.cacheKey(), func() (*flow.Result, []flow.StepRecord, error) {
+		rec := &recordingObserver{next: e.obs}
+		res, err := flow.RunFault(ctx, p.Design, p.Options, rec, e.faults, attempt)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.countStopped(res)
+		return res, rec.steps, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	if hit && e.obs != nil {
+		// Memoized point: replay the records its compute emitted so the
+		// Observer sees one record set per point, cached or not.
+		for _, rec := range steps {
+			e.obs.OnStep(rec)
+		}
+		if len(steps) > 0 {
+			metrics.Add("campaign.cache.observer_replays", 1)
+		}
+	}
+	return res, nil
+}
+
+// countStopped mirrors live doomed-run stops into the campaign counters
+// (flow cannot: the metrics package depends on it).
+func (e *Engine) countStopped(res *flow.Result) {
+	if res == nil || !res.Stopped || res.Route == nil {
+		return
+	}
+	metrics.Add("campaign.doomed.stopped", 1)
+	if saved := res.Route.IterationsBudget - res.Route.IterationsRun; saved > 0 {
+		metrics.Add("campaign.doomed.saved_iters", int64(saved))
+	}
+}
+
+// countFault classifies a retryable failure into the fault counters.
+func countFault(err error) {
+	var fe *flow.FaultError
+	if errors.As(err, &fe) {
+		metrics.Add("campaign.fault."+fe.Kind, 1)
+		return
+	}
+	metrics.Add("campaign.fault.other", 1)
+}
+
+// recordingObserver captures the step records of one flow run (for the
+// memo cache) while forwarding them live to the campaign observer.
+type recordingObserver struct {
+	next  flow.Observer
+	steps []flow.StepRecord
+}
+
+// OnStep implements flow.Observer. flow.RunCtx supervises routing when
+// its observer implements flow.RouteSupervisor; the recorder forwards
+// that too so caching does not disable live doomed-run abort.
+func (r *recordingObserver) OnStep(rec flow.StepRecord) {
+	r.steps = append(r.steps, rec)
+	if r.next != nil {
+		r.next.OnStep(rec)
+	}
+}
+
+// RouteIter implements flow.RouteSupervisor by delegating to the
+// campaign observer when it supervises, else always Continue.
+func (r *recordingObserver) RouteIter(design string, runSeed int64, iter int, drvs []int) route.IterAction {
+	if sup, ok := r.next.(flow.RouteSupervisor); ok {
+		return sup.RouteIter(design, runSeed, iter, drvs)
+	}
+	return route.Continue
 }
 
 // Map is the generic deterministic fan-out for campaign work that is
 // not a whole flow run (synthesis-only noise sweeps, detailed-route
 // corpus generation): f(i) must depend only on i, results land by
-// index. Cancellation semantics match Engine.Run.
-func Map[T any](ctx context.Context, e *Engine, n int, f func(i int) T) ([]T, error) {
+// index. Cancellation semantics match sched.MapCtx: out[i] is valid
+// exactly when ran[i] is true.
+func Map[T any](ctx context.Context, e *Engine, n int, f func(i int) T) (out []T, ran []bool, err error) {
 	return sched.MapCtx(ctx, e.pool, n, f)
 }
 

@@ -2,11 +2,15 @@ package campaign
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/cellib"
 	"repro/internal/flow"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 )
 
@@ -176,5 +180,133 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-1) < 1 {
 		t.Error("auto worker count must be >= 1")
+	}
+}
+
+// TestFaultRetryReproducesFaultFreeResults is the fault-tolerance
+// contract: with injected crashes/license drops and enough retries, the
+// campaign lands on results bit-identical to the fault-free run — at
+// any worker count, with or without the memo cache.
+func TestFaultRetryReproducesFaultFreeResults(t *testing.T) {
+	design := tinyDesign(1)
+	pts := sweepPoints(design, KeyFor(design), 2, 3)
+
+	want, err := New(Config{Workers: 2}).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := &flow.FaultInjector{Seed: 7, CrashRate: 0.12, LicenseDropRate: 0.08}
+	for _, workers := range []int{1, 4, 8} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d cached=%t", workers, cached)
+			cfg := Config{Workers: workers, Faults: inj, Retry: Retry{Max: 25}}
+			if cached {
+				cfg.Cache = NewCache(0)
+			}
+			got, err := New(cfg).Run(context.Background(), pts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i := range want {
+				if got[i] == nil {
+					t.Fatalf("%s: point %d missing", name, i)
+				}
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("%s: point %d diverged from fault-free reference", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRetryExhaustionFailsPointWithoutCaching: a point whose every
+// attempt faults must come back nil with a RunError — and must never be
+// served from the cache as a failed result.
+func TestRetryExhaustionFailsPointWithoutCaching(t *testing.T) {
+	design := tinyDesign(1)
+	cache := NewCache(0)
+	inj := &flow.FaultInjector{Seed: 1, CrashRate: 1} // every boundary crashes
+	eng := New(Config{Workers: 2, Cache: cache, Faults: inj, Retry: Retry{Max: 3}})
+	pts := Points(design, KeyFor(design), flow.Options{TargetFreqGHz: 0.4}, []int64{1, 2})
+
+	res, err := eng.Run(context.Background(), pts)
+	var re *RunError
+	if !errors.As(err, &re) || len(re.Failed) != 2 {
+		t.Fatalf("err = %v, want RunError with 2 failures", err)
+	}
+	for i, r := range res {
+		if r != nil {
+			t.Fatalf("failed point %d recorded a result", i)
+		}
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries for failed-only runs", cache.Len())
+	}
+	// The same engine without faults must now compute cleanly — nothing
+	// poisoned the cache.
+	okEng := New(Config{Workers: 2, Cache: cache})
+	ok, err := okEng.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ok {
+		if r == nil {
+			t.Fatalf("point %d still failing after faults removed", i)
+		}
+	}
+}
+
+// TestCachedPointsReplayStepRecords is the fix for the documented
+// footgun: with Cache and Observer both set, memoized points must
+// replay the step records captured when their result was computed, so
+// every point delivers one record set.
+func TestCachedPointsReplayStepRecords(t *testing.T) {
+	design := tinyDesign(1)
+	var mu sync.Mutex
+	perSeed := map[int64]int{}
+	obs := flow.ObserverFunc(func(rec flow.StepRecord) {
+		mu.Lock()
+		if rec.Step == "droute" {
+			perSeed[rec.RunSeed]++
+		}
+		mu.Unlock()
+	})
+	eng := New(Config{Workers: 2, Cache: NewCache(0), Observer: obs})
+	pts := Points(design, KeyFor(design), flow.Options{TargetFreqGHz: 0.4}, []int64{1, 2})
+
+	replaysBefore := metrics.Get("campaign.cache.observer_replays")
+	// Three campaigns over the same points: 1 computed + 2 memoized.
+	for round := 0; round < 3; round++ {
+		if _, err := eng.Run(context.Background(), pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seed, n := range perSeed {
+		if n != 3 {
+			t.Errorf("seed %d delivered %d droute records, want 3 (1 computed + 2 replayed)", seed, n)
+		}
+	}
+	if got := metrics.Get("campaign.cache.observer_replays") - replaysBefore; got != 4 {
+		t.Errorf("observer_replays counter moved by %d, want 4 (2 points x 2 memoized rounds)", got)
+	}
+}
+
+// TestAbandonedPointsNeverRecorded: a cancelled campaign's abandoned
+// slots stay nil even though the result type's zero value would be a
+// plausible *flow.Result had MapCtx fabricated zero slots.
+func TestAbandonedPointsNeverRecorded(t *testing.T) {
+	design := tinyDesign(1)
+	pts := sweepPoints(design, "", 3, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := New(Config{Workers: 2}).Run(ctx, pts)
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	for i, r := range res {
+		if r != nil {
+			t.Fatalf("abandoned point %d recorded result %+v", i, r)
+		}
 	}
 }

@@ -1,0 +1,67 @@
+package flow
+
+import "fmt"
+
+// Fault kinds the injector can simulate: a tool crash at a stage
+// boundary and a license dropped by the license server mid-campaign.
+// Both abort the run; the distinction only matters for accounting.
+const (
+	FaultCrash   = "crash"
+	FaultLicense = "license"
+)
+
+// FaultError is the error a flow run returns when a (simulated or real)
+// tool failure kills it at a stage boundary.
+type FaultError struct {
+	Stage string // the stage about to run when the fault hit
+	Kind  string // FaultCrash or FaultLicense
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("flow: injected %s fault at %s", e.Kind, e.Stage)
+}
+
+// FaultInjector simulates the failures a production campaign sees —
+// tool crashes and license drops — deterministically, so fault-tolerance
+// tests are reproducible: whether the run at (Seed, run seed, stage,
+// attempt) faults is a pure hash of those four values. The same point
+// retried with a higher attempt number draws a fresh fault coin, which
+// is what lets campaign retries eventually succeed while every worker
+// count replays the identical fault schedule.
+type FaultInjector struct {
+	Seed int64 // injector stream; decorrelates schedules across studies
+	// CrashRate is the per-stage-boundary probability of a simulated
+	// tool crash (a run with k stages survives with (1-rate)^k).
+	CrashRate float64
+	// LicenseDropRate is the per-stage-boundary probability of a
+	// simulated license drop.
+	LicenseDropRate float64
+}
+
+// Check returns the deterministic fault for (run seed, stage, attempt),
+// or nil when the run proceeds. A nil injector never faults.
+func (f *FaultInjector) Check(runSeed int64, stage string, attempt int) error {
+	if f == nil || (f.CrashRate <= 0 && f.LicenseDropRate <= 0) {
+		return nil
+	}
+	// FNV-1a over the stage name, mixed with the seeds and attempt
+	// through a splitmix64 finalizer.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(stage); i++ {
+		h ^= uint64(stage[i])
+		h *= 1099511628211
+	}
+	z := h ^ uint64(f.Seed)*0x9e3779b97f4a7c15 ^ uint64(runSeed)*0xbf58476d1ce4e5b9 ^
+		uint64(attempt+1)*0x94d049bb133111eb
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	switch {
+	case u < f.CrashRate:
+		return &FaultError{Stage: stage, Kind: FaultCrash}
+	case u < f.CrashRate+f.LicenseDropRate:
+		return &FaultError{Stage: stage, Kind: FaultLicense}
+	}
+	return nil
+}

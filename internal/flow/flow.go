@@ -11,6 +11,8 @@
 package flow
 
 import (
+	"context"
+
 	"repro/internal/cts"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -87,6 +89,19 @@ type Result struct {
 
 	// Netlist is the implemented design (sized, placed).
 	Netlist *netlist.Netlist
+
+	// Stopped is set when a live doomed-run supervisor STOPped the run
+	// mid-route: the fields up to and including Route are valid, the
+	// signoff fields are zero, and the license the run held was
+	// released RouteIters-Route.IterationsRun iterations early.
+	Stopped bool
+	// Aborted is set when the run was killed by context cancellation or
+	// an injected fault; the per-step fields populated before the abort
+	// point remain valid.
+	Aborted bool
+	// FailedStage names the stage a fault or cancellation hit (empty
+	// for completed and STOPped runs).
+	FailedStage string
 }
 
 // StepRecord is the per-step measurement event delivered to observers —
@@ -114,6 +129,15 @@ type ObserverFunc func(rec StepRecord)
 // OnStep calls f(rec).
 func (f ObserverFunc) OnStep(rec StepRecord) { f(rec) }
 
+// RouteSupervisor is the live doomed-run hook: an Observer that also
+// implements it is consulted between detailed-routing rip-up passes and
+// can STOP the run while it holds its license (the paper's Fig. 9/10
+// MDP card acting in real time instead of grading finished logfiles).
+// The internal/doom package provides the mdp.Card-backed implementation.
+type RouteSupervisor interface {
+	RouteIter(design string, runSeed int64, iter int, drvs []int) route.IterAction
+}
+
 // subSeed derives a decorrelated per-step seed (splitmix64 step).
 func subSeed(seed int64, step uint64) int64 {
 	z := uint64(seed) + step*0x9e3779b97f4a7c15
@@ -128,8 +152,31 @@ func Run(design *netlist.Netlist, opts Options) *Result {
 }
 
 // RunObserved executes the full flow, reporting each step to obs (which
-// may be nil).
+// may be nil). It cannot be cancelled; use RunCtx for that.
 func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
+	res, _ := RunCtx(context.Background(), design, opts, obs) //nolint:errcheck // background ctx never cancels
+	return res
+}
+
+// RunCtx executes the full flow under ctx, reporting each step to obs
+// (which may be nil). Cancellation is checked at every stage boundary
+// and between detailed-routing rip-up passes, so a doomed-run STOP or a
+// campaign teardown reclaims the run's license within one iteration
+// instead of after the full run. On cancellation the partial Result has
+// Aborted set and ctx.Err() is returned. If obs implements
+// RouteSupervisor, its verdicts can STOP the run mid-route; a STOPped
+// run returns (res, nil) with res.Stopped set and no signoff fields.
+func RunCtx(ctx context.Context, design *netlist.Netlist, opts Options, obs Observer) (*Result, error) {
+	return RunFault(ctx, design, opts, obs, nil, 0)
+}
+
+// RunFault is RunCtx with deterministic fault injection: inj (which may
+// be nil) is consulted at every stage boundary with the run seed, the
+// stage about to execute and the caller's attempt number; an injected
+// crash or license drop aborts the run with a *FaultError. The campaign
+// engine's retry loop increments attempt so a re-run draws fresh fault
+// coins.
+func RunFault(ctx context.Context, design *netlist.Netlist, opts Options, obs Observer, inj *FaultInjector, attempt int) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Options: opts}
 	emit := func(step string, metrics map[string]float64, series []float64) {
@@ -139,6 +186,25 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 				Options: opts, Metrics: metrics, Series: series,
 			})
 		}
+	}
+	// boundary gates entry into a stage: a dead context or an injected
+	// fault kills the run here, where a real flow manager would reap the
+	// tool process and release its license.
+	boundary := func(stage string) error {
+		if err := ctx.Err(); err != nil {
+			res.Aborted = true
+			res.FailedStage = stage
+			return err
+		}
+		if err := inj.Check(opts.Seed, stage, attempt); err != nil {
+			res.Aborted = true
+			res.FailedStage = stage
+			return err
+		}
+		return nil
+	}
+	if err := boundary("synth"); err != nil {
+		return res, err
 	}
 
 	// Synthesis.
@@ -160,6 +226,9 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 	}, nil)
 
 	// Placement.
+	if err := boundary("place"); err != nil {
+		return res, err
+	}
 	res.Place = place.Place(n, place.Options{
 		Seed:        subSeed(opts.Seed, 2),
 		Moves:       opts.PlaceMoves * n.NumCells(),
@@ -174,6 +243,9 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 	}, nil)
 
 	// Clock-tree synthesis.
+	if err := boundary("cts"); err != nil {
+		return res, err
+	}
 	res.CTS = cts.Synthesize(n, cts.Options{Seed: subSeed(opts.Seed, 3)})
 	res.RuntimeProxy += float64(res.CTS.Buffers) / 100
 	emit("cts", map[string]float64{
@@ -183,6 +255,9 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 	}, nil)
 
 	// Global routing.
+	if err := boundary("groute"); err != nil {
+		return res, err
+	}
 	res.Global = route.GlobalRoute(n, route.GlobalOptions{
 		Seed:          subSeed(opts.Seed, 4),
 		TracksPerEdge: opts.TracksPerEdge,
@@ -196,24 +271,61 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 		"margin":       res.Global.CongestionMargin(),
 	}, nil)
 
-	// Detailed routing.
-	res.Route = route.DetailRoute(res.Global, route.DetailOptions{
+	// Detailed routing, with the live doomed-run hook when the observer
+	// supervises. The hook sees iterations as they complete; its STOP
+	// truncates the run in place, which is where the compute reclaim of
+	// Figs. 9-10 actually happens.
+	if err := boundary("droute"); err != nil {
+		return res, err
+	}
+	var hook route.IterHook
+	if sup, ok := obs.(RouteSupervisor); ok {
+		hook = func(iter int, drvs []int) route.IterAction {
+			return sup.RouteIter(design.Name, opts.Seed, iter, drvs)
+		}
+	}
+	res.Route = route.DetailRouteCtx(ctx, res.Global, route.DetailOptions{
 		Iterations: opts.RouteIters,
 		Effort:     opts.RouteEffort,
 		Seed:       subSeed(opts.Seed, 5),
 		StopAfter:  opts.StopRouteAfter,
+		IterHook:   hook,
 	})
 	res.RuntimeProxy += res.Route.RuntimeProxy
 	series := make([]float64, len(res.Route.DRVs))
 	for i, d := range res.Route.DRVs {
 		series[i] = float64(d)
 	}
-	emit("droute", map[string]float64{
+	drouteMetrics := map[string]float64{
 		"drvs":       float64(res.Route.Final),
 		"iterations": float64(res.Route.IterationsRun),
-	}, series)
+	}
+	if res.Route.StopIter > 0 {
+		drouteMetrics["stopped_at"] = float64(res.Route.StopIter)
+		drouteMetrics["saved_iters"] = float64(res.Route.IterationsBudget - res.Route.IterationsRun)
+	}
+	emit("droute", drouteMetrics, series)
+	if res.Route.Aborted {
+		res.Aborted = true
+		res.FailedStage = "droute"
+		return res, ctx.Err()
+	}
+	if res.Route.StopIter > 0 {
+		// Live STOP: the run is terminated here, exactly as the paper's
+		// policy kills the tool to reclaim its license. Headline fields
+		// that exist are filled; signoff never happens.
+		res.Stopped = true
+		res.AreaUm2 = n.Area() + res.CTS.AreaUm2
+		res.PowerNW = n.Leakage() + res.CTS.PowerNW
+		res.RouteOK = false
+		res.Met = false
+		return res, nil
+	}
 
 	// Signoff timing with CTS skews.
+	if err := boundary("sta"); err != nil {
+		return res, err
+	}
 	res.Sign = sta.Analyze(n, sta.Config{
 		Engine:    sta.Signoff,
 		SI:        true,
@@ -231,6 +343,9 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 	// whatever the flow left oversized while the margin holds, then
 	// refresh the signoff report if anything changed.
 	if opts.RecoverArea {
+		if err := boundary("recover"); err != nil {
+			return res, err
+		}
 		signCfg := sta.Config{
 			Engine:    sta.Signoff,
 			SI:        true,
@@ -264,7 +379,7 @@ func RunObserved(design *netlist.Netlist, opts Options, obs Observer) *Result {
 	res.TimingMet = res.Sign.WNSPs >= 0
 	res.RouteOK = res.Route.Success
 	res.Met = res.TimingMet && res.RouteOK
-	return res
+	return res, nil
 }
 
 // Constraints is a QOR acceptance box: the "given power and area

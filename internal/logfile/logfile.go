@@ -36,15 +36,20 @@ type Run struct {
 	DRVs    []int // per-iteration violation counts (index 0 = initial)
 	Final   int
 	Success bool // Final < route.SuccessDRVThreshold
+	// StoppedAt is the iteration a live supervisor STOPped the run
+	// (0 = ran to its full budget). Only set by supervised generation;
+	// the text logfile format does not carry it.
+	StoppedAt int
 }
 
 // FromDetail converts a simulator result into a logfile record.
 func FromDetail(id int, design, corpus string, res *route.DetailResult) Run {
 	return Run{
 		ID: id, Design: design, Corpus: corpus,
-		DRVs:    append([]int(nil), res.DRVs...),
-		Final:   res.Final,
-		Success: res.Success,
+		DRVs:      append([]int(nil), res.DRVs...),
+		Final:     res.Final,
+		Success:   res.Success,
+		StoppedAt: res.StopIter,
 	}
 }
 
@@ -124,6 +129,12 @@ type CorpusSpec struct {
 	// before any work fans out, so the corpus is bit-identical at any
 	// worker count.
 	Workers int
+	// Supervise, when set, returns the per-run live iteration hook
+	// wired into route.DetailRouteCtx — the doomed-run card acting
+	// while runs execute. A supervised corpus's unstopped runs are
+	// bit-identical to the unsupervised corpus (the hook never touches
+	// the rng stream); stopped runs are truncated with StoppedAt set.
+	Supervise func(id int, design string) route.IterHook
 }
 
 func (c CorpusSpec) withDefaults() CorpusSpec {
@@ -227,10 +238,14 @@ func Generate(spec CorpusSpec) []Run {
 	runs := make([]Run, spec.Runs)
 	campaign.Map(ctx, eng, spec.Runs, func(id int) struct{} { //nolint:errcheck // background ctx never cancels
 		s := subs[id%len(subs)]
-		res := route.DetailRoute(s.g, route.DetailOptions{
+		opts := route.DetailOptions{
 			Iterations: spec.Iterations,
 			Seed:       runSeeds[id],
-		})
+		}
+		if spec.Supervise != nil {
+			opts.IterHook = spec.Supervise(id, s.design)
+		}
+		res := route.DetailRouteCtx(ctx, s.g, opts)
 		runs[id] = FromDetail(id, s.design, spec.Name, res)
 		return struct{}{}
 	})

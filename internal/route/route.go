@@ -14,6 +14,7 @@
 package route
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -156,14 +157,43 @@ func routeSeg2(routeSeg func(int, int, int, int, bool) float64, sx, sy, tx, ty i
 	return routeSeg(tx, ty, sx, sy, commit)
 }
 
+// IterAction is a live supervision decision taken between rip-up
+// passes: Continue runs the next iteration, Stop terminates the run now
+// (the doomed-run MDP's STOP, acted on while the tool is running instead
+// of graded post hoc). It deliberately mirrors mdp.Action without
+// importing it — mdp consumes this package's results, so the dependency
+// points the other way.
+type IterAction int
+
+const (
+	// Continue lets the router run its next rip-up pass.
+	Continue IterAction = iota
+	// Stop terminates the run after the current pass, releasing the
+	// license the run holds.
+	Stop
+)
+
+// IterHook is called after every rip-up pass with the 1-based iteration
+// just completed and the DRV series so far (drvs[0] is the initial
+// count, drvs[iter] the newest). Returning Stop ends the run. The hook
+// must not retain or mutate drvs.
+type IterHook func(iter int, drvs []int) IterAction
+
 // DetailOptions parameterize the detailed-routing convergence simulator.
 type DetailOptions struct {
 	Iterations int   // rip-up-and-reroute iterations (default 20, as in Fig. 9)
 	Effort     int   // 1..3; higher effort converges faster (default 2)
 	Seed       int64 // run noise
 	// StopAfter lets a supervising policy terminate the run early
-	// (<=0 means run all iterations). Used by the doomed-run MDP.
+	// (<=0 means run all iterations). Used by the post-hoc doomed-run
+	// replays; live policies use IterHook instead.
 	StopAfter int
+	// IterHook, when non-nil, is consulted between rip-up passes and
+	// can stop the run live (see DetailRouteCtx). It never affects the
+	// DRV values of the iterations that do run: the rng stream is
+	// consumed per pass, so a stopped run's series is a bit-identical
+	// prefix of the uninterrupted run's.
+	IterHook IterHook
 }
 
 func (o DetailOptions) withDefaults() DetailOptions {
@@ -184,17 +214,40 @@ type DetailResult struct {
 	Final         int
 	Success       bool // Final < SuccessDRVThreshold
 	IterationsRun int
+	// IterationsBudget is the iteration budget the run was given
+	// (Iterations after defaults); IterationsBudget - IterationsRun is
+	// the compute a live STOP or abort reclaimed.
+	IterationsBudget int
 	// RuntimeProxy accumulates simulated per-iteration cost; early
 	// termination of doomed runs saves this (the paper's motivation).
 	RuntimeProxy float64
+	// StopIter is the iteration at which IterHook stopped the run
+	// (0 = ran without a live STOP). The result is a well-formed
+	// partial: DRVs, Final, Success and IterationsRun describe the
+	// iterations that actually ran.
+	StopIter int
+	// Aborted is set when the run was cancelled via context rather than
+	// finishing or being STOPped by its hook.
+	Aborted bool
 }
 
 // DetailRoute simulates rip-up-and-reroute convergence for the global
 // routing congestion picture.
 func DetailRoute(g *GlobalResult, opts DetailOptions) *DetailResult {
+	return DetailRouteCtx(context.Background(), g, opts)
+}
+
+// DetailRouteCtx is DetailRoute with live supervision: between rip-up
+// passes it checks ctx (cancellation aborts the run, setting Aborted)
+// and consults opts.IterHook (a Stop ends the run, setting StopIter).
+// Both paths return a well-formed partial result whose DRV series is a
+// bit-identical prefix of the uninterrupted run's, so a supervisor's
+// CONTINUE decisions never perturb QOR — only early termination saves
+// iterations.
+func DetailRouteCtx(ctx context.Context, g *GlobalResult, opts DetailOptions) *DetailResult {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	res := &DetailResult{}
+	res := &DetailResult{IterationsBudget: opts.Iterations}
 
 	margin := g.CongestionMargin()
 
@@ -229,6 +282,10 @@ func DetailRoute(g *GlobalResult, opts DetailOptions) *DetailResult {
 		if opts.StopAfter > 0 && t > opts.StopAfter {
 			break
 		}
+		if ctx.Err() != nil {
+			res.Aborted = true
+			break
+		}
 		noise := math.Exp(0.10 * rng.NormFloat64())
 		// Late iterations on congested designs can regress (the
 		// orange curve of Fig. 9): rip-up in hotspots creates new
@@ -244,6 +301,10 @@ func DetailRoute(g *GlobalResult, opts DetailOptions) *DetailResult {
 		res.DRVs = append(res.DRVs, int(drv))
 		res.IterationsRun++
 		res.RuntimeProxy += 1 + drv/5000
+		if opts.IterHook != nil && opts.IterHook(t, res.DRVs) == Stop {
+			res.StopIter = t
+			break
+		}
 	}
 	res.Final = res.DRVs[len(res.DRVs)-1]
 	res.Success = res.Final < SuccessDRVThreshold

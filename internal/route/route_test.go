@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cellib"
@@ -168,5 +169,105 @@ func BenchmarkGlobalRoute(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		GlobalRoute(n, GlobalOptions{Seed: int64(i)})
+	}
+}
+
+func TestDetailRouteCtxAbortsMidRun(t *testing.T) {
+	n := placed(10, netlist.Tiny(10))
+	g := GlobalRoute(n, GlobalOptions{Seed: 1})
+	full := DetailRoute(g, DetailOptions{Seed: 11})
+
+	// Cancel from inside the run: the hook fires after iteration 4, the
+	// ctx check aborts before iteration 6 begins (the hook's own run
+	// still completes iteration 5's decision point first).
+	ctx, cancel := context.WithCancel(context.Background())
+	r := DetailRouteCtx(ctx, g, DetailOptions{
+		Seed: 11,
+		IterHook: func(iter int, drvs []int) IterAction {
+			if iter == 4 {
+				cancel()
+			}
+			return Continue
+		},
+	})
+	if !r.Aborted {
+		t.Fatal("cancelled run not marked Aborted")
+	}
+	if r.StopIter != 0 {
+		t.Fatalf("abort recorded as live STOP at %d", r.StopIter)
+	}
+	if r.IterationsRun != 4 {
+		t.Fatalf("ran %d iterations after cancel at 4", r.IterationsRun)
+	}
+	// Well-formed partial: series length, Final, Success all consistent
+	// with the iterations that ran, and a bit-identical prefix.
+	if len(r.DRVs) != r.IterationsRun+1 {
+		t.Fatalf("series length %d vs iterations %d", len(r.DRVs), r.IterationsRun)
+	}
+	if r.Final != r.DRVs[len(r.DRVs)-1] {
+		t.Fatalf("Final %d != last DRV %d", r.Final, r.DRVs[len(r.DRVs)-1])
+	}
+	if (r.Final < SuccessDRVThreshold) != r.Success {
+		t.Fatal("Success inconsistent with Final")
+	}
+	for i := range r.DRVs {
+		if r.DRVs[i] != full.DRVs[i] {
+			t.Fatalf("aborted prefix diverged at %d: %d vs %d", i, r.DRVs[i], full.DRVs[i])
+		}
+	}
+	if r.RuntimeProxy >= full.RuntimeProxy {
+		t.Error("abort should save runtime")
+	}
+}
+
+func TestDetailRouteCtxLiveStop(t *testing.T) {
+	n := placed(11, netlist.Tiny(11))
+	g := GlobalRoute(n, GlobalOptions{Seed: 1})
+	full := DetailRoute(g, DetailOptions{Seed: 13})
+
+	r := DetailRouteCtx(context.Background(), g, DetailOptions{
+		Seed: 13,
+		IterHook: func(iter int, drvs []int) IterAction {
+			if iter >= 6 {
+				return Stop
+			}
+			return Continue
+		},
+	})
+	if r.Aborted {
+		t.Fatal("live STOP misreported as abort")
+	}
+	if r.StopIter != 6 || r.IterationsRun != 6 {
+		t.Fatalf("StopIter %d, IterationsRun %d, want 6/6", r.StopIter, r.IterationsRun)
+	}
+	if r.IterationsBudget != full.IterationsBudget {
+		t.Fatalf("budget %d vs %d", r.IterationsBudget, full.IterationsBudget)
+	}
+	for i := range r.DRVs {
+		if r.DRVs[i] != full.DRVs[i] {
+			t.Fatalf("stopped prefix diverged at %d", i)
+		}
+	}
+}
+
+func TestDetailRouteCtxContinueHookIsBitIdentical(t *testing.T) {
+	// A supervisor that always says CONTINUE must not perturb the run.
+	n := placed(12, netlist.Tiny(12))
+	g := GlobalRoute(n, GlobalOptions{Seed: 1, TracksPerEdge: 2})
+	plain := DetailRoute(g, DetailOptions{Seed: 17})
+	hooked := DetailRouteCtx(context.Background(), g, DetailOptions{
+		Seed:     17,
+		IterHook: func(iter int, drvs []int) IterAction { return Continue },
+	})
+	if len(plain.DRVs) != len(hooked.DRVs) {
+		t.Fatalf("series lengths differ: %d vs %d", len(plain.DRVs), len(hooked.DRVs))
+	}
+	for i := range plain.DRVs {
+		if plain.DRVs[i] != hooked.DRVs[i] {
+			t.Fatalf("CONTINUE hook changed DRVs at %d", i)
+		}
+	}
+	if plain.Final != hooked.Final || plain.Success != hooked.Success {
+		t.Fatal("CONTINUE hook changed outcome")
 	}
 }

@@ -56,6 +56,14 @@ func (p *Pool) RunCtx(ctx context.Context, tasks []func()) error {
 			select {
 			case sem <- struct{}{}:
 				p.dequeue()
+				// The select picks pseudo-randomly when both cases are
+				// ready, so a task can win a license from an already-dead
+				// context; re-check so a doomed-run STOP kills queued work
+				// the moment it fires instead of letting stragglers run.
+				if ctx.Err() != nil {
+					<-sem
+					return
+				}
 			case <-ctx.Done():
 				p.dequeue()
 				return
@@ -72,22 +80,28 @@ func (p *Pool) RunCtx(ctx context.Context, tasks []func()) error {
 
 // Map runs f over 0..n-1 under the license limit and collects results.
 func Map[T any](p *Pool, n int, f func(i int) T) []T {
-	out, _ := MapCtx(context.Background(), p, n, f)
+	out, _, _ := MapCtx(context.Background(), p, n, f)
 	return out
 }
 
 // MapCtx runs f over 0..n-1 under the license limit with cancellation.
-// out[i] holds f(i) for every task that ran; slots of abandoned tasks
-// keep their zero value and the context error is returned.
-func MapCtx[T any](ctx context.Context, p *Pool, n int, f func(i int) T) ([]T, error) {
-	out := make([]T, n)
+// out[i] holds f(i) exactly when ran[i] is true; slots of abandoned
+// tasks keep their zero value with ran[i] false, so a genuinely computed
+// zero value is never confused with a task that was cancelled before it
+// started. The context error is returned on cancellation.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, f func(i int) T) (out []T, ran []bool, err error) {
+	out = make([]T, n)
+	ran = make([]bool, n)
 	tasks := make([]func(), n)
 	for i := 0; i < n; i++ {
 		i := i
-		tasks[i] = func() { out[i] = f(i) }
+		tasks[i] = func() {
+			out[i] = f(i)
+			ran[i] = true
+		}
 	}
-	err := p.RunCtx(ctx, tasks)
-	return out, err
+	err = p.RunCtx(ctx, tasks)
+	return out, ran, err
 }
 
 func (p *Pool) enqueue() {

@@ -156,20 +156,50 @@ func TestRunCtxCancelAbandonsQueuedTasks(t *testing.T) {
 	}
 }
 
-func TestMapCtxCancelled(t *testing.T) {
-	p := NewPool(2)
+// TestMapCtxPreCancelledRunsNothing is the regression test for the
+// acquire-after-cancel race: with a context that is already dead when a
+// task wins a license, the task must still be abandoned, so a
+// pre-cancelled MapCtx executes exactly zero tasks.
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	p := NewPool(4)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	out, err := MapCtx(ctx, p, 5, func(i int) int { return i + 1 })
+	var executed int64
+	out, ran, err := MapCtx(ctx, p, 100, func(i int) int {
+		atomic.AddInt64(&executed, 1)
+		return i + 1
+	})
 	if err != context.Canceled {
 		t.Fatalf("err = %v", err)
 	}
-	if len(out) != 5 {
-		t.Fatalf("len %d", len(out))
+	if executed != 0 {
+		t.Fatalf("pre-cancelled ctx executed %d tasks, want 0", executed)
 	}
-	for i, v := range out {
-		if v != 0 && v != i+1 {
-			t.Fatalf("out[%d] = %d, want 0 (abandoned) or %d", i, v, i+1)
+	if len(out) != 100 || len(ran) != 100 {
+		t.Fatalf("len out %d, len ran %d", len(out), len(ran))
+	}
+	for i := range out {
+		if ran[i] || out[i] != 0 {
+			t.Fatalf("slot %d: ran=%t out=%d, want abandoned zero", i, ran[i], out[i])
+		}
+	}
+}
+
+// TestMapCtxRanDistinguishesComputedZeros checks that a task whose
+// result is genuinely the zero value is distinguishable from an
+// abandoned slot via ran.
+func TestMapCtxRanDistinguishesComputedZeros(t *testing.T) {
+	p := NewPool(2)
+	out, ran, err := MapCtx(context.Background(), p, 6, func(i int) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if !ran[i] {
+			t.Fatalf("slot %d not marked ran", i)
+		}
+		if out[i] != 0 {
+			t.Fatalf("out[%d] = %d", i, out[i])
 		}
 	}
 }

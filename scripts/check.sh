@@ -1,9 +1,14 @@
 #!/bin/sh
 # Tier-1 gate for the repository.
 #
-#   scripts/check.sh          vet + build + race-enabled tests
+#   scripts/check.sh          vet + build + race-enabled tests (with a
+#                             doubled concurrency tier on the scheduler
+#                             and campaign engine, the abort/retry
+#                             substrate)
 #   scripts/check.sh bench    also run the benchmark pairs and write the
-#                             speedups to BENCH_campaign.json / BENCH_sta.json
+#                             speedups to BENCH_campaign.json /
+#                             BENCH_sta.json, and the live doomed-run
+#                             abort gate to BENCH_doomed.json
 #
 # The bench mode runs BenchmarkCampaignSerial (the plain flow.Run loop)
 # against BenchmarkCampaignParallel (campaign engine + memo cache), and
@@ -21,6 +26,10 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
+# Concurrency tier: the license pool and campaign engine carry the
+# cancellation/retry machinery every experiment fans out on; run their
+# race tests twice (fresh caches each time) before the full suite.
+go test -race -count=2 ./internal/sched/... ./internal/campaign/...
 go test -race ./...
 
 if [ "${1:-}" = "bench" ]; then
@@ -74,6 +83,37 @@ if [ "${1:-}" = "bench" ]; then
             }
             if (speedup < 10) {
                 printf "check.sh: sta recover speedup %.2fx below 10x gate\n", speedup > "/dev/stderr"
+                exit 1
+            }
+        }'
+
+    # Live doomed-run abort gate: supervised execution of the Fig. 9
+    # test corpus must reclaim >= 20% of detail-route iterations while
+    # every run the card lets finish stays bit-identical to the
+    # uninterrupted baseline (qor_mismatches must be 0).
+    out=$(go run ./cmd/doomed -doomed-live -seed 1 -scale small)
+    echo "$out"
+    echo "$out" | awk -F= '
+        /^doomed_live_baseline_iters=/      { base = $2 }
+        /^doomed_live_saved_iters=/         { saved = $2 }
+        /^doomed_live_saved_pct=/           { pct = $2 }
+        /^doomed_live_posthoc_saved_iters=/ { posthoc = $2 }
+        /^doomed_live_qor_mismatches=/      { mism = $2 }
+        /^doomed_live_error_pct=/           { err = $2 }
+        END {
+            if (base == "" || pct == "" || mism == "") {
+                print "check.sh: could not parse doomed-live output" > "/dev/stderr"
+                exit 1
+            }
+            printf "doomed_live_reclaimed_pct=%s\n", pct
+            printf "{\"benchmark\":\"doomed_live\",\"baseline_iters\":%s,\"saved_iters\":%s,\"saved_pct\":%s,\"posthoc_saved_iters\":%s,\"qor_mismatches\":%s,\"error_pct\":%s}\n", \
+                base, saved, pct, posthoc, mism, err > "BENCH_doomed.json"
+            if (mism + 0 != 0) {
+                printf "check.sh: doomed-live QoR drift on %s finished runs\n", mism > "/dev/stderr"
+                exit 1
+            }
+            if (pct + 0 < 20) {
+                printf "check.sh: doomed-live reclaimed %s%% below 20%% gate\n", pct > "/dev/stderr"
                 exit 1
             }
         }'
