@@ -4,4 +4,7 @@ check:
 bench:
 	scripts/check.sh bench
 
-.PHONY: check bench
+crash:
+	scripts/check.sh crash
+
+.PHONY: check bench crash

@@ -12,6 +12,13 @@
 //	                      # post-hoc baseline
 //	doomed -all           # everything
 //	      [-scale small|paper] [-seed 1] [-parallel N]
+//	      [-journal DIR] [-resume]
+//
+// With -journal DIR the logfile corpora behind every experiment are
+// generated crash-safely: each completed detailed-route run is durably
+// appended to a write-ahead journal, and a rerun after a kill (-resume,
+// or simply the same -journal) replays them bit-identically instead of
+// regenerating — at paper scale that is thousands of router runs.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,9 +39,16 @@ func main() {
 	scale := flag.String("scale", "small", "experiment scale: small or paper")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = one per CPU); results are identical at any setting")
+	journalDir := flag.String("journal", "", "durable corpus journal directory (enables checkpoint/resume)")
+	resume := flag.Bool("resume", false, "resume corpora from an existing -journal")
 	flag.Parse()
 
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -journal DIR")
+		os.Exit(2)
+	}
 	repro.SetWorkers(*parallel)
+	repro.SetCorpusJournal(*journalDir)
 	s := repro.Small
 	if *scale == "paper" {
 		s = repro.Paper
@@ -57,5 +72,14 @@ func main() {
 	}
 	if *all || *live {
 		repro.DoomedLive(s, *seed).Print(os.Stdout)
+	}
+	if *journalDir != "" {
+		// Journal accounting goes to stderr so experiment output stays
+		// byte-comparable between resumed and uninterrupted runs.
+		metrics.Default.WritePrefix(os.Stderr, "logfile.journal.")
+		if err := repro.CorpusJournalErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "journal degraded: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

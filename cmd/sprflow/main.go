@@ -5,12 +5,20 @@
 // Usage:
 //
 //	sprflow -design pulpino -freq 0.6 -seed 1 [-effort 2] [-robot]
+//	sprflow -design tiny -sweep 4 [-parallel N] [-journal DIR] [-resume]
+//
+// A -sweep runs the full frequency x seed cross on the campaign engine
+// and prints one stable line per point to stdout (resume accounting
+// goes to stderr). With -journal DIR every completed point is durable:
+// kill -9 the sweep at any moment, rerun it with -resume, and the
+// output is byte-identical to the uninterrupted run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 )
@@ -21,6 +29,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "run seed")
 	effort := flag.Int("effort", 2, "synthesis effort 1..3")
 	robot := flag.Bool("robot", false, "run as a Stage-1 robot engineer (retry to success)")
+	sweep := flag.Int("sweep", 0, "run a crash-safe QOR sweep with this many seeds per frequency")
+	parallel := flag.Int("parallel", 0, "sweep concurrency (0 = one per CPU); results identical at any setting")
+	journalDir := flag.String("journal", "", "durable journal directory for -sweep (enables checkpoint/resume)")
+	resume := flag.Bool("resume", false, "resume a killed -sweep from its -journal (same flags required)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
 	flag.Parse()
 
 	var spec repro.DesignSpec
@@ -38,6 +51,16 @@ func main() {
 		os.Exit(2)
 	}
 	d := repro.NewDesign(repro.DefaultLibrary(), spec)
+
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -journal DIR")
+		os.Exit(2)
+	}
+	if *sweep > 0 {
+		runSweep(d, *freq, *seed, *effort, *sweep, *parallel, *journalDir, *stageTimeout)
+		return
+	}
+
 	stats := d.ComputeStats()
 	fmt.Printf("design %s: %d cells, %d registers, %d nets, depth %d\n",
 		d.Name, stats.Cells, stats.Registers, stats.Nets, stats.MaxLevel)
@@ -74,4 +97,41 @@ func main() {
 	if !res.Met {
 		os.Exit(1)
 	}
+}
+
+// runSweep executes the crash-safe QOR sweep: nSeeds seeds at three
+// target frequencies around base. Point lines go to stdout in point
+// order — a stable byte stream — while journal/resume accounting goes
+// to stderr, so `diff` between a resumed and an uninterrupted sweep
+// compares only results.
+func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, parallel int, journalDir string, stageTimeout time.Duration) {
+	freqs := []float64{0.8 * baseFreq, baseFreq, 1.2 * baseFreq}
+	seeds := make([]int64, nSeeds)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	res, err := repro.Sweep(repro.SweepConfig{
+		Design:       d,
+		Base:         repro.FlowOptions{SynthEffort: effort},
+		Freqs:        freqs,
+		Seeds:        seeds,
+		Workers:      parallel,
+		JournalDir:   journalDir,
+		StageTimeout: stageTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep failed: %v\n", err)
+		os.Exit(1)
+	}
+	if journalDir != "" {
+		rec := res.Recovery
+		fmt.Fprintf(os.Stderr, "journal: %d segments, %d records recovered, %d torn tails (%d bytes dropped)\n",
+			rec.Segments, rec.Records, rec.TornTails, rec.TornBytes)
+		fmt.Fprintf(os.Stderr, "resume: replayed=%d skipped=%d corrupt=%d duplicate=%d\n",
+			res.Resume.Replayed, res.Resume.SkippedUnknown, res.Resume.Corrupt, res.Resume.Duplicate)
+		if res.JournalErr != nil {
+			fmt.Fprintf(os.Stderr, "journal degraded: %v\n", res.JournalErr)
+		}
+	}
+	res.Print(os.Stdout)
 }

@@ -21,17 +21,20 @@ func corpusSizes(scale Scale) (train, test, designs int) {
 	return 160, 240, 2
 }
 
-// Corpora generates the training and testing logfile corpora.
+// Corpora generates the training and testing logfile corpora. With a
+// corpus journal configured (SetCorpusJournal), both corpora are
+// crash-safe: completed runs are durable and a restarted experiment
+// replays them instead of regenerating.
 func Corpora(scale Scale, seed int64) (train, test []logfile.Run) {
 	nTrain, nTest, designs := corpusSizes(scale)
-	train = logfile.Generate(logfile.CorpusSpec{
+	train = journaledCorpus(logfile.CorpusSpec{
 		Name: "artificial", Runs: nTrain, Seed: seed, Designs: designs,
 		Workers: WorkerCount(),
-	})
-	test = logfile.Generate(logfile.CorpusSpec{
+	}, "train")
+	test = journaledCorpus(logfile.CorpusSpec{
 		Name: "embedded-cpu", Runs: nTest, Seed: seed + 1, Designs: designs,
 		Workers: WorkerCount(),
-	})
+	}, "test")
 	return train, test
 }
 

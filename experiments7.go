@@ -1,0 +1,194 @@
+package repro
+
+// PR 4: crash-safe orchestration. The paper's premise is that schedule
+// slips come from wasted tool time; a killed overnight campaign that
+// recomputes every finished run on restart is exactly such waste. This
+// file exposes the campaign journal at the harness level: a durable
+// sweep for the sprflow CLI, and a process-wide corpus-journal knob the
+// doomed-run experiments pick up.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/flow"
+	"repro/internal/journal"
+	"repro/internal/logfile"
+)
+
+// ResumeStats re-exports the campaign resume accounting.
+type ResumeStats = campaign.ResumeStats
+
+// corpusJournalDir is the process-wide corpus journal root ("" = off).
+var corpusJournalDir atomic.Value
+
+// SetCorpusJournal points corpus generation (Corpora, DoomedLive) at a
+// durable journal directory: completed detailed-route runs are appended
+// as they finish and replayed on restart, so a killed experiment
+// resumes instead of regenerating. An empty dir turns journaling off.
+func SetCorpusJournal(dir string) { corpusJournalDir.Store(dir) }
+
+// CorpusJournalDir reports the configured corpus journal root.
+func CorpusJournalDir() string {
+	if v, ok := corpusJournalDir.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// corpusJournalErr remembers the first corpus-journal durability
+// failure (see CorpusJournalErr).
+var corpusJournalErr atomic.Value
+
+// CorpusJournalErr reports the first journal failure seen by corpus
+// generation since the journal was configured. Journal failures are
+// deliberately non-fatal — durability must never cost the live
+// computation — so callers that care (the doomed CLI) poll this after
+// their experiments finish.
+func CorpusJournalErr() error {
+	if v, ok := corpusJournalErr.Load().(error); ok {
+		return v
+	}
+	return nil
+}
+
+// journaledCorpus runs spec through GenerateJournaled when a corpus
+// journal is configured, salting the entries so differently supervised
+// corpora sharing a spec never serve each other.
+func journaledCorpus(spec logfile.CorpusSpec, salt string) []logfile.Run {
+	dir := CorpusJournalDir()
+	if dir == "" {
+		return logfile.Generate(spec)
+	}
+	spec.JournalDir = dir
+	spec.JournalSalt = salt
+	runs, err := logfile.GenerateJournaled(spec)
+	if err != nil && corpusJournalErr.Load() == nil {
+		// The runs slice is complete even when the journal is not.
+		corpusJournalErr.Store(err)
+	}
+	return runs
+}
+
+// SweepConfig parameterizes a crash-safe QOR sweep: the full cross of
+// Freqs x Seeds on one design, journaled so a kill -9 at any moment
+// loses at most the runs in flight.
+type SweepConfig struct {
+	Design *Design
+	Base   FlowOptions // Seed and TargetFreqGHz are overridden per point
+	Freqs  []float64
+	Seeds  []int64
+	// Workers caps concurrency (0 = one per CPU); results are identical
+	// at any setting.
+	Workers int
+	// JournalDir enables the durable journal (and resume) when set.
+	JournalDir string
+	// StageTimeout arms the per-stage hung-tool watchdog (0 = off).
+	StageTimeout time.Duration
+}
+
+// SweepPoint is one (frequency, seed) outcome.
+type SweepPoint struct {
+	FreqGHz    float64
+	Seed       int64
+	Met        bool
+	WNSPs      float64
+	AreaUm2    float64
+	PowerNW    float64
+	MaxFreqGHz float64
+}
+
+// SweepResult is a completed sweep plus its resume accounting.
+type SweepResult struct {
+	Points []SweepPoint
+	// Resume reports what the journal replayed (zero value when no
+	// journal was configured or the journal was empty).
+	Resume ResumeStats
+	// Recovery reports what journal recovery found on open.
+	Recovery journal.RecoveryStats
+	// JournalErr is a non-fatal durability failure: the sweep completed
+	// in memory but the journal may be missing points.
+	JournalErr error
+}
+
+// Sweep runs the full Freqs x Seeds cross on the campaign engine. With
+// JournalDir set the sweep is crash-safe: every completed point is
+// durable before the next is dispatched to disk-order, and rerunning
+// the same sweep after a kill reproduces the uninterrupted results
+// bit-identically at any worker count.
+func Sweep(cfg SweepConfig) (SweepResult, error) {
+	if cfg.Design == nil {
+		return SweepResult{}, fmt.Errorf("repro: Sweep: nil design")
+	}
+	if len(cfg.Freqs) == 0 || len(cfg.Seeds) == 0 {
+		return SweepResult{}, fmt.Errorf("repro: Sweep: empty frequency or seed set")
+	}
+	key := campaign.KeyFor(cfg.Design)
+	var pts []campaign.Point
+	for _, f := range cfg.Freqs {
+		base := cfg.Base
+		base.TargetFreqGHz = f
+		pts = append(pts, campaign.Points(cfg.Design, key, base, cfg.Seeds)...)
+	}
+
+	ecfg := campaign.Config{
+		Workers:      campaign.Workers(cfg.Workers),
+		Cache:        campaign.NewCache(0),
+		StageTimeout: cfg.StageTimeout,
+	}
+	var out SweepResult
+	var jrn *campaign.Journal
+	if cfg.JournalDir != "" {
+		var err error
+		jrn, err = campaign.OpenJournal(cfg.JournalDir, journal.Options{})
+		if err != nil {
+			return out, err
+		}
+		defer jrn.Close()
+		out.Recovery = jrn.Stats()
+		ecfg.Journal = jrn
+	}
+	eng := campaign.New(ecfg)
+
+	var results []*flow.Result
+	var err error
+	if jrn != nil {
+		results, out.Resume, err = eng.Resume(context.Background(), pts)
+	} else {
+		results, err = eng.Run(context.Background(), pts)
+	}
+	if err != nil {
+		return out, err
+	}
+	if jrn != nil {
+		out.JournalErr = jrn.Err()
+	}
+
+	out.Points = make([]SweepPoint, len(results))
+	for i, r := range results {
+		out.Points[i] = SweepPoint{
+			FreqGHz:    pts[i].Options.TargetFreqGHz,
+			Seed:       pts[i].Options.Seed,
+			Met:        r.Met,
+			WNSPs:      r.WNSPs,
+			AreaUm2:    r.AreaUm2,
+			PowerNW:    r.PowerNW,
+			MaxFreqGHz: r.MaxFreqGHz,
+		}
+	}
+	return out, nil
+}
+
+// Print renders one line per point — a stable, diffable format, so a
+// killed-and-resumed sweep can be compared byte-for-byte against an
+// uninterrupted one.
+func (r SweepResult) Print(w io.Writer) {
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "point freq=%.3f seed=%d met=%t wns=%.1f area=%.1f power=%.1f maxfreq=%.3f\n",
+			p.FreqGHz, p.Seed, p.Met, p.WNSPs, p.AreaUm2, p.PowerNW, p.MaxFreqGHz)
+	}
+}

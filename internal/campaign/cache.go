@@ -102,6 +102,23 @@ func (c *Cache) Get(key string) (*flow.Result, bool) {
 	return nil, false
 }
 
+// Put seeds the cache with an already-computed result and its step
+// records — the journal-replay path, where results come off disk rather
+// than out of a flow run. An existing entry wins (the journal can only
+// ever disagree with a live compute by being stale), and the returned
+// bool reports whether the entry was stored.
+func (c *Cache) Put(key string, res *flow.Result, steps []flow.StepRecord) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[key]; exists {
+		return false
+	}
+	c.insert(s, key, &cacheEntry{res: res, steps: steps})
+	metrics.Add("campaign.cache.seeded", 1)
+	return true
+}
+
 // Do returns the cached result for key, computing and storing it on a
 // miss. Concurrent Do calls with the same key coalesce: one computes,
 // the rest wait and share the result (counted as hits, plus a coalesced

@@ -97,19 +97,33 @@ type Config struct {
 	// enough for every point to eventually succeed, campaign results
 	// are bit-identical to the fault-free run at any worker count.
 	Faults *flow.FaultInjector
+	// Journal, when non-nil, makes the campaign crash-safe: every
+	// successfully computed point is appended to the durable log, and
+	// Engine.Resume replays the log into the cache before dispatch.
+	// Requires the cache (New creates an unbounded one if Cache is nil);
+	// only computed results are journaled — faulted or cancelled
+	// attempts never touch the log.
+	Journal *Journal
+	// StageTimeout arms the per-stage hung-tool watchdog on every flow
+	// run (see flow.RunConfig.StageTimeout). A reaped stage surfaces as
+	// a FaultHang fault and follows the normal retry path.
+	StageTimeout time.Duration
 }
 
 // Engine executes campaigns. The zero-value Engine is not usable; build
 // one with New.
 type Engine struct {
-	pool   *sched.Pool
-	cache  *Cache
-	obs    flow.Observer
-	retry  Retry
-	faults *flow.FaultInjector
+	pool         *sched.Pool
+	cache        *Cache
+	obs          flow.Observer
+	retry        Retry
+	faults       *flow.FaultInjector
+	journal      *Journal
+	stageTimeout time.Duration
 }
 
-// New creates an engine.
+// New creates an engine. A journaled engine needs the memo cache (the
+// journal replays through it), so one is created if the config has none.
 func New(cfg Config) *Engine {
 	pool := cfg.Pool
 	if pool == nil {
@@ -119,7 +133,14 @@ func New(cfg Config) *Engine {
 		}
 		pool = sched.NewPool(w)
 	}
-	return &Engine{pool: pool, cache: cfg.Cache, obs: cfg.Observer, retry: cfg.Retry, faults: cfg.Faults}
+	cache := cfg.Cache
+	if cache == nil && cfg.Journal != nil {
+		cache = NewCache(0)
+	}
+	return &Engine{
+		pool: pool, cache: cache, obs: cfg.Observer, retry: cfg.Retry,
+		faults: cfg.Faults, journal: cfg.Journal, stageTimeout: cfg.StageTimeout,
+	}
 }
 
 // Pool returns the engine's license pool (for Stats).
@@ -138,6 +159,16 @@ type PointError struct {
 // other points completed.
 type RunError struct {
 	Failed []PointError
+}
+
+// Unwrap exposes the per-point failures to errors.Is/errors.As, so a
+// caller can match e.g. a *flow.FaultError through the aggregate.
+func (e *RunError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		errs[i] = f.Err
+	}
+	return errs
 }
 
 func (e *RunError) Error() string {
@@ -229,23 +260,37 @@ func (e *Engine) runPoint(ctx context.Context, p Point) pointOutcome {
 	return pointOutcome{err: lastErr}
 }
 
-// runOnce is a single attempt at a point: cache-aware, observer-aware.
+// runOnce is a single attempt at a point: cache-aware, observer-aware,
+// journal-aware.
 func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Result, error) {
 	if e.cache == nil || p.DesignKey == "" {
-		res, err := flow.RunFault(ctx, p.Design, p.Options, e.obs, e.faults, attempt)
+		// Uncached points are also unjournaled: without a design key
+		// there is no identity to resume them under.
+		res, err := flow.RunCfg(ctx, p.Design, p.Options, flow.RunConfig{
+			Observer: e.obs, Faults: e.faults, Attempt: attempt, StageTimeout: e.stageTimeout,
+		})
 		if err != nil {
 			return nil, err
 		}
 		e.countStopped(res)
 		return res, nil
 	}
-	res, steps, hit, err := e.cache.DoRecorded(p.cacheKey(), func() (*flow.Result, []flow.StepRecord, error) {
+	key := p.cacheKey()
+	res, steps, hit, err := e.cache.DoRecorded(key, func() (*flow.Result, []flow.StepRecord, error) {
 		rec := &recordingObserver{next: e.obs}
-		res, err := flow.RunFault(ctx, p.Design, p.Options, rec, e.faults, attempt)
+		res, err := flow.RunCfg(ctx, p.Design, p.Options, flow.RunConfig{
+			Observer: rec, Faults: e.faults, Attempt: attempt, StageTimeout: e.stageTimeout,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
 		e.countStopped(res)
+		if e.journal != nil {
+			// Journal inside the compute path: only ever-successful,
+			// never-faulted results reach here, exactly once per key (a
+			// cache hit never recomputes, so it can never re-append).
+			e.journal.record(key, res, rec.steps)
+		}
 		return res, rec.steps, nil
 	})
 	if err != nil {
@@ -281,6 +326,9 @@ func countFault(err error) {
 	var fe *flow.FaultError
 	if errors.As(err, &fe) {
 		metrics.Add("campaign.fault."+fe.Kind, 1)
+		if fe.Kind == flow.FaultHang {
+			metrics.Add("campaign.watchdog.fired", 1)
+		}
 		return
 	}
 	metrics.Add("campaign.fault.other", 1)

@@ -310,3 +310,21 @@ func TestAbandonedPointsNeverRecorded(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultErrorMatchableThroughRunError: the aggregate error a failed
+// campaign returns must unwrap to the per-point tool faults, so callers
+// at any layer (flow, campaign, cmd) can errors.As for *flow.FaultError
+// instead of string-matching.
+func TestFaultErrorMatchableThroughRunError(t *testing.T) {
+	design := tinyDesign(1)
+	pts := Points(design, KeyFor(design), flow.Options{TargetFreqGHz: 0.4}, []int64{1})
+	inj := &flow.FaultInjector{Seed: 1, CrashRate: 1} // every boundary crashes
+	_, err := New(Config{Workers: 1, Faults: inj}).Run(context.Background(), pts)
+	var fe *flow.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v; *flow.FaultError not matchable through RunError", err)
+	}
+	if fe.Kind != flow.FaultCrash || fe.Stage == "" {
+		t.Fatalf("fault = %+v, want a staged crash", fe)
+	}
+}

@@ -1,0 +1,205 @@
+// Campaign journaling: a write-ahead log of completed points, so a
+// campaign killed at any moment — power cut, kill -9, scheduler
+// preemption — resumes with every finished flow run intact instead of
+// recomputing hours of tool time. This is the paper's "reducing time and
+// effort" applied to the orchestration layer itself: the expensive
+// artifact of a campaign is the set of completed runs, and the journal
+// makes that set durable.
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+)
+
+// Entry is one journaled point: the memo key that identifies it plus
+// everything a resumed campaign needs to serve the point from cache —
+// the flow result and the step records its compute emitted (so the
+// Observer replay of a resumed point matches a memoized one exactly).
+type Entry struct {
+	Key   string
+	Res   *flow.Result
+	Steps []flow.StepRecord
+}
+
+// Journal is the campaign-facing wrapper over the durable log: it
+// serializes entries with gob, deduplicates appends by key (a point
+// replayed from the journal is marked seen and never re-appended), and
+// turns append failures into a sticky error surfaced via Err — the
+// campaign itself keeps running, because losing durability must not
+// lose the live computation too.
+type Journal struct {
+	log *journal.Log
+
+	mu   sync.Mutex
+	seen map[string]struct{}
+	err  error
+}
+
+// OpenJournal opens (or creates) the campaign journal in dir, recovering
+// any torn tail left by a crash. The journal.Options choose the fsync
+// policy; the zero value is fully durable (fsync every append).
+func OpenJournal(dir string, opts journal.Options) (*Journal, error) {
+	log, err := journal.Open(dir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	return &Journal{log: log, seen: map[string]struct{}{}}, nil
+}
+
+// Entries decodes every recovered record. Records that fail to decode —
+// a journal written by an incompatible build, or garbage that survived
+// the CRC by astronomical luck — are skipped and counted, never fatal:
+// a corrupt entry costs one recompute, not the campaign.
+func (j *Journal) Entries() (entries []Entry, corrupt int) {
+	for _, rec := range j.log.Records() {
+		var e Entry
+		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&e); err != nil || e.Key == "" || e.Res == nil {
+			corrupt++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if corrupt > 0 {
+		metrics.Add("campaign.journal.corrupt", int64(corrupt))
+	}
+	return entries, corrupt
+}
+
+// Stats exposes the recovery statistics of the underlying log.
+func (j *Journal) Stats() journal.RecoveryStats { return j.log.Stats() }
+
+// record journals one completed point. Appends are best-effort and
+// deduplicated: a key already journaled (or replayed at resume) is
+// skipped, and an append failure is remembered in Err but does not fail
+// the campaign.
+func (j *Journal) record(key string, res *flow.Result, steps []flow.StepRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.seen[key]; dup {
+		metrics.Add("campaign.journal.duplicate", 1)
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Entry{Key: key, Res: res, Steps: steps}); err != nil {
+		j.fail(fmt.Errorf("campaign: encode journal entry: %w", err))
+		return
+	}
+	if err := j.log.Append(buf.Bytes()); err != nil {
+		j.fail(fmt.Errorf("campaign: journal append: %w", err))
+		return
+	}
+	j.seen[key] = struct{}{}
+	metrics.Add("campaign.journal.appended", 1)
+}
+
+// markSeen suppresses future appends for a key that is already durable
+// (it was replayed out of the journal at resume).
+func (j *Journal) markSeen(key string) {
+	j.mu.Lock()
+	j.seen[key] = struct{}{}
+	j.mu.Unlock()
+}
+
+// fail records the first append-path error. Caller holds j.mu.
+func (j *Journal) fail(err error) {
+	if j.err == nil {
+		j.err = err
+	}
+	metrics.Add("campaign.journal.append_err", 1)
+}
+
+// Err returns the first append-path error, if any. A non-nil Err means
+// the campaign's results are complete in memory but the journal may be
+// missing points; callers that require durability should surface it.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Sync forces the journal to stable storage (meaningful under the
+// SyncInterval/SyncNever policies).
+func (j *Journal) Sync() error { return j.log.Sync() }
+
+// Close syncs and closes the underlying log.
+func (j *Journal) Close() error { return j.log.Close() }
+
+// ResumeStats reports what a resume replayed out of the journal.
+type ResumeStats struct {
+	// Replayed is the number of journal entries whose key matched a
+	// requested point and was seeded into the cache.
+	Replayed int
+	// SkippedUnknown is the number of entries that matched no requested
+	// point — a changed campaign spec; they are preserved on disk but
+	// not served.
+	SkippedUnknown int
+	// Corrupt is the number of records that failed to decode.
+	Corrupt int
+	// Duplicate is the number of decodable entries whose key had already
+	// been replayed (e.g. the same point journaled by two pre-crash
+	// processes); first entry wins.
+	Duplicate int
+}
+
+// Replay seeds the engine's cache with every journaled entry whose key
+// matches one of pts, and marks those keys seen so the resumed campaign
+// never re-appends them. Entries matching no requested point are
+// skipped and counted (a resumed campaign may have a narrower spec than
+// the one that crashed); corrupt records are skipped and counted. The
+// engine must have been built with both Journal and Cache (Config.New
+// auto-creates the cache when a journal is set).
+func (e *Engine) Replay(pts []Point) (ResumeStats, error) {
+	if e.journal == nil {
+		return ResumeStats{}, fmt.Errorf("campaign: Replay: engine has no journal")
+	}
+	if e.cache == nil {
+		return ResumeStats{}, fmt.Errorf("campaign: Replay: engine has no cache")
+	}
+	known := make(map[string]struct{}, len(pts))
+	for _, p := range pts {
+		if p.DesignKey != "" {
+			known[p.cacheKey()] = struct{}{}
+		}
+	}
+	entries, corrupt := e.journal.Entries()
+	st := ResumeStats{Corrupt: corrupt}
+	for _, ent := range entries {
+		if _, ok := known[ent.Key]; !ok {
+			st.SkippedUnknown++
+			metrics.Add("campaign.journal.skipped", 1)
+			continue
+		}
+		if !e.cache.Put(ent.Key, ent.Res, ent.Steps) {
+			st.Duplicate++
+			e.journal.markSeen(ent.Key)
+			continue
+		}
+		e.journal.markSeen(ent.Key)
+		st.Replayed++
+		metrics.Add("campaign.journal.replayed", 1)
+	}
+	return st, nil
+}
+
+// Resume is Run preceded by a journal replay: every point already
+// completed by the interrupted campaign is served from the journal
+// (with its step records replayed to the Observer, like any memoized
+// point), and only the remainder is computed. Because a flow run is a
+// pure function of its point and results land by index, the resumed
+// output is bit-identical to an uninterrupted run at any worker count.
+func (e *Engine) Resume(ctx context.Context, pts []Point) ([]*flow.Result, ResumeStats, error) {
+	st, err := e.Replay(pts)
+	if err != nil {
+		return nil, st, err
+	}
+	res, err := e.Run(ctx, pts)
+	return res, st, err
+}

@@ -1,20 +1,27 @@
 package flow
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // Fault kinds the injector can simulate: a tool crash at a stage
-// boundary and a license dropped by the license server mid-campaign.
-// Both abort the run; the distinction only matters for accounting.
+// boundary, a license dropped by the license server mid-campaign, and a
+// tool that wedges inside a stage until the watchdog reaps it. All
+// three abort the run; the distinction only matters for accounting.
 const (
 	FaultCrash   = "crash"
 	FaultLicense = "license"
+	FaultHang    = "hang"
 )
 
 // FaultError is the error a flow run returns when a (simulated or real)
-// tool failure kills it at a stage boundary.
+// tool failure kills it: a crash or license drop at a stage boundary,
+// or a hung stage reaped by the watchdog.
 type FaultError struct {
-	Stage string // the stage about to run when the fault hit
-	Kind  string // FaultCrash or FaultLicense
+	Stage string // the stage running (or about to run) when the fault hit
+	Kind  string // FaultCrash, FaultLicense or FaultHang
 }
 
 func (e *FaultError) Error() string {
@@ -22,12 +29,12 @@ func (e *FaultError) Error() string {
 }
 
 // FaultInjector simulates the failures a production campaign sees —
-// tool crashes and license drops — deterministically, so fault-tolerance
-// tests are reproducible: whether the run at (Seed, run seed, stage,
-// attempt) faults is a pure hash of those four values. The same point
-// retried with a higher attempt number draws a fresh fault coin, which
-// is what lets campaign retries eventually succeed while every worker
-// count replays the identical fault schedule.
+// tool crashes, license drops and hung tools — deterministically, so
+// fault-tolerance tests are reproducible: whether the run at (Seed, run
+// seed, stage, attempt) faults is a pure hash of those four values. The
+// same point retried with a higher attempt number draws a fresh fault
+// coin, which is what lets campaign retries eventually succeed while
+// every worker count replays the identical fault schedule.
 type FaultInjector struct {
 	Seed int64 // injector stream; decorrelates schedules across studies
 	// CrashRate is the per-stage-boundary probability of a simulated
@@ -36,16 +43,24 @@ type FaultInjector struct {
 	// LicenseDropRate is the per-stage-boundary probability of a
 	// simulated license drop.
 	LicenseDropRate float64
+	// HangRate is the per-stage probability that the tool wedges inside
+	// the stage instead of computing: the run blocks until the stage
+	// watchdog reaps it (RunConfig.StageTimeout) or the run's context
+	// is cancelled. Unlike a crash, a hang without a watchdog occupies
+	// its license forever — exactly the failure mode the watchdog layer
+	// exists to catch.
+	HangRate float64
+	// HangFor bounds a simulated hang: after this long the wedged tool
+	// "recovers" and the stage proceeds normally (a slow license
+	// checkout, a transient NFS stall). Zero means the tool never comes
+	// back on its own.
+	HangFor time.Duration
 }
 
-// Check returns the deterministic fault for (run seed, stage, attempt),
-// or nil when the run proceeds. A nil injector never faults.
-func (f *FaultInjector) Check(runSeed int64, stage string, attempt int) error {
-	if f == nil || (f.CrashRate <= 0 && f.LicenseDropRate <= 0) {
-		return nil
-	}
-	// FNV-1a over the stage name, mixed with the seeds and attempt
-	// through a splitmix64 finalizer.
+// coin returns the deterministic uniform draw for (run seed, stage,
+// attempt): FNV-1a over the stage name, mixed with the seeds and
+// attempt through a splitmix64 finalizer.
+func (f *FaultInjector) coin(runSeed int64, stage string, attempt int) float64 {
 	var h uint64 = 14695981039346656037
 	for i := 0; i < len(stage); i++ {
 		h ^= uint64(stage[i])
@@ -56,7 +71,16 @@ func (f *FaultInjector) Check(runSeed int64, stage string, attempt int) error {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	u := float64(z>>11) / (1 << 53)
+	return float64(z>>11) / (1 << 53)
+}
+
+// Check returns the deterministic boundary fault for (run seed, stage,
+// attempt), or nil when the run proceeds. A nil injector never faults.
+func (f *FaultInjector) Check(runSeed int64, stage string, attempt int) error {
+	if f == nil || (f.CrashRate <= 0 && f.LicenseDropRate <= 0) {
+		return nil
+	}
+	u := f.coin(runSeed, stage, attempt)
 	switch {
 	case u < f.CrashRate:
 		return &FaultError{Stage: stage, Kind: FaultCrash}
@@ -64,4 +88,35 @@ func (f *FaultInjector) Check(runSeed int64, stage string, attempt int) error {
 		return &FaultError{Stage: stage, Kind: FaultLicense}
 	}
 	return nil
+}
+
+// Hang simulates the in-stage wedge for (run seed, stage, attempt). It
+// returns true when the stage may proceed — either no hang was drawn,
+// or the bounded hang elapsed (the tool recovered). It returns false
+// when the wedge was ended by ctx cancellation (watchdog reap or run
+// abort): the tool never produced its result. The hang coin occupies
+// the probability band just above the boundary-fault bands of Check, so
+// all three fault kinds stay mutually exclusive per (seed, stage,
+// attempt) and a retried point draws a fresh coin.
+func (f *FaultInjector) Hang(ctx context.Context, runSeed int64, stage string, attempt int) bool {
+	if f == nil || f.HangRate <= 0 {
+		return true
+	}
+	base := f.CrashRate + f.LicenseDropRate
+	u := f.coin(runSeed, stage, attempt)
+	if u < base || u >= base+f.HangRate {
+		return true
+	}
+	if f.HangFor <= 0 {
+		<-ctx.Done()
+		return false
+	}
+	t := time.NewTimer(f.HangFor)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true // the tool came back; the stage runs late but clean
+	case <-ctx.Done():
+		return false
+	}
 }

@@ -12,11 +12,13 @@ package flow
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cts"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/sched"
 	"repro/internal/sizing"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -177,8 +179,38 @@ func RunCtx(ctx context.Context, design *netlist.Netlist, opts Options, obs Obse
 // engine's retry loop increments attempt so a re-run draws fresh fault
 // coins.
 func RunFault(ctx context.Context, design *netlist.Netlist, opts Options, obs Observer, inj *FaultInjector, attempt int) (*Result, error) {
+	return RunCfg(ctx, design, opts, RunConfig{Observer: obs, Faults: inj, Attempt: attempt})
+}
+
+// RunConfig bundles the run-level machinery around a flow execution:
+// observation, fault injection, the retry attempt number, and the
+// hung-stage watchdog.
+type RunConfig struct {
+	Observer Observer       // step events; may be nil
+	Faults   *FaultInjector // deterministic fault schedule; may be nil
+	Attempt  int            // retry attempt; fresh fault coins per attempt
+
+	// StageTimeout arms a per-stage watchdog: a stage that has not
+	// completed within this deadline is reaped — its context is
+	// cancelled, its goroutine abandoned, and the run aborts with a
+	// *FaultError of kind FaultHang, exactly as a flow manager kills a
+	// wedged tool process to get its license back. Zero disables the
+	// watchdog and stages run inline on the caller's goroutine.
+	StageTimeout time.Duration
+}
+
+// RunCfg executes the full flow under ctx with the given run machinery.
+// Each stage runs in three steps: a boundary gate (context check plus
+// injected crash/license faults), the stage body under the watchdog (see
+// RunConfig.StageTimeout), and a commit that publishes the stage's
+// results into the Result and emits its step record. The commit runs on
+// the caller's goroutine only after the body is known to have finished,
+// so a reaped stage can never race with the caller: an abandoned body
+// writes only stage-local state that nobody reads.
+func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunConfig) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Options: opts}
+	obs := rc.Observer
 	emit := func(step string, metrics map[string]float64, series []float64) {
 		if obs != nil {
 			obs.OnStep(StepRecord{
@@ -187,124 +219,177 @@ func RunFault(ctx context.Context, design *netlist.Netlist, opts Options, obs Ob
 			})
 		}
 	}
-	// boundary gates entry into a stage: a dead context or an injected
-	// fault kills the run here, where a real flow manager would reap the
-	// tool process and release its license.
-	boundary := func(stage string) error {
+	// stage gates entry (a dead context or an injected fault kills the
+	// run at the boundary, where a real flow manager would reap the tool
+	// process and release its license), runs body under the watchdog,
+	// and on completion commits on this goroutine. body must write only
+	// state that commit publishes — never res directly — so that an
+	// abandoned hung stage cannot race with the caller.
+	stage := func(name string, body func(sctx context.Context), commit func()) error {
+		fail := func(err error) error {
+			res.Aborted = true
+			res.FailedStage = name
+			return err
+		}
 		if err := ctx.Err(); err != nil {
-			res.Aborted = true
-			res.FailedStage = stage
-			return err
+			return fail(err)
 		}
-		if err := inj.Check(opts.Seed, stage, attempt); err != nil {
-			res.Aborted = true
-			res.FailedStage = stage
-			return err
+		if err := rc.Faults.Check(opts.Seed, name, rc.Attempt); err != nil {
+			return fail(err)
 		}
+		completed := false
+		gerr := sched.Guard(ctx, rc.StageTimeout, func(sctx context.Context) {
+			if !rc.Faults.Hang(sctx, opts.Seed, name, rc.Attempt) {
+				return // wedged "tool" died with its context, never computing
+			}
+			body(sctx)
+			completed = true
+		})
+		if gerr != nil {
+			// Watchdog reap: the stage missed its deadline. Surface it as
+			// a fault so the campaign retry path treats a hung tool like a
+			// crashed one (the retry draws a fresh hang coin).
+			return fail(&FaultError{Stage: name, Kind: FaultHang})
+		}
+		if !completed {
+			// The body never ran: the injected wedge was released by run
+			// cancellation (Guard only cancels sctx after it returns, so a
+			// nil gerr means the parent context died). Report whichever
+			// cause is present; an unbounded hang with no watchdog and no
+			// cancellation would still be blocked above.
+			if err := ctx.Err(); err != nil {
+				return fail(err)
+			}
+			return fail(&FaultError{Stage: name, Kind: FaultHang})
+		}
+		commit()
 		return nil
-	}
-	if err := boundary("synth"); err != nil {
-		return res, err
 	}
 
 	// Synthesis.
-	res.Synth = synth.Run(design, synth.Options{
-		TargetFreqGHz: opts.TargetFreqGHz,
-		Effort:        opts.SynthEffort,
-		Seed:          subSeed(opts.Seed, 1),
-		MaxFanout:     opts.MaxFanout,
-	})
-	n := res.Synth.Netlist
-	res.Netlist = n
-	res.RuntimeProxy += float64(res.Synth.Passes) * float64(n.NumCells()) / 1000
-	emit("synth", map[string]float64{
-		"area":    res.Synth.AreaUm2,
-		"wns":     res.Synth.WNSPs,
-		"cells":   float64(n.NumCells()),
-		"upsized": float64(res.Synth.Upsized),
-		"buffers": float64(res.Synth.BuffersAdded),
-	}, nil)
+	var n *netlist.Netlist
+	var syn synth.Result
+	if err := stage("synth", func(context.Context) {
+		syn = synth.Run(design, synth.Options{
+			TargetFreqGHz: opts.TargetFreqGHz,
+			Effort:        opts.SynthEffort,
+			Seed:          subSeed(opts.Seed, 1),
+			MaxFanout:     opts.MaxFanout,
+		})
+	}, func() {
+		res.Synth = syn
+		n = syn.Netlist
+		res.Netlist = n
+		res.RuntimeProxy += float64(syn.Passes) * float64(n.NumCells()) / 1000
+		emit("synth", map[string]float64{
+			"area":    syn.AreaUm2,
+			"wns":     syn.WNSPs,
+			"cells":   float64(n.NumCells()),
+			"upsized": float64(syn.Upsized),
+			"buffers": float64(syn.BuffersAdded),
+		}, nil)
+	}); err != nil {
+		return res, err
+	}
 
 	// Placement.
-	if err := boundary("place"); err != nil {
+	var pl place.Result
+	if err := stage("place", func(context.Context) {
+		pl = place.Place(n, place.Options{
+			Seed:        subSeed(opts.Seed, 2),
+			Moves:       opts.PlaceMoves * n.NumCells(),
+			Utilization: opts.Utilization,
+			Partitions:  opts.Partitions,
+		})
+	}, func() {
+		res.Place = pl
+		res.RuntimeProxy += float64(pl.RuntimeProxy) / 50000
+		emit("place", map[string]float64{
+			"hpwl":         pl.HPWLUm,
+			"initial_hpwl": pl.InitialHPWLUm,
+			"width":        pl.Width,
+		}, nil)
+	}); err != nil {
 		return res, err
 	}
-	res.Place = place.Place(n, place.Options{
-		Seed:        subSeed(opts.Seed, 2),
-		Moves:       opts.PlaceMoves * n.NumCells(),
-		Utilization: opts.Utilization,
-		Partitions:  opts.Partitions,
-	})
-	res.RuntimeProxy += float64(res.Place.RuntimeProxy) / 50000
-	emit("place", map[string]float64{
-		"hpwl":         res.Place.HPWLUm,
-		"initial_hpwl": res.Place.InitialHPWLUm,
-		"width":        res.Place.Width,
-	}, nil)
 
 	// Clock-tree synthesis.
-	if err := boundary("cts"); err != nil {
+	var ct cts.Result
+	if err := stage("cts", func(context.Context) {
+		ct = cts.Synthesize(n, cts.Options{Seed: subSeed(opts.Seed, 3)})
+	}, func() {
+		res.CTS = ct
+		res.RuntimeProxy += float64(ct.Buffers) / 100
+		emit("cts", map[string]float64{
+			"skew":    ct.MaxSkewPs,
+			"latency": ct.LatencyPs,
+			"buffers": float64(ct.Buffers),
+		}, nil)
+	}); err != nil {
 		return res, err
 	}
-	res.CTS = cts.Synthesize(n, cts.Options{Seed: subSeed(opts.Seed, 3)})
-	res.RuntimeProxy += float64(res.CTS.Buffers) / 100
-	emit("cts", map[string]float64{
-		"skew":    res.CTS.MaxSkewPs,
-		"latency": res.CTS.LatencyPs,
-		"buffers": float64(res.CTS.Buffers),
-	}, nil)
 
 	// Global routing.
-	if err := boundary("groute"); err != nil {
+	var gr *route.GlobalResult
+	if err := stage("groute", func(context.Context) {
+		gr = route.GlobalRoute(n, route.GlobalOptions{
+			Seed:          subSeed(opts.Seed, 4),
+			TracksPerEdge: opts.TracksPerEdge,
+		})
+	}, func() {
+		res.Global = gr
+		res.RuntimeProxy += gr.WirelengthUm / 5000
+		emit("groute", map[string]float64{
+			"wirelength":   gr.WirelengthUm,
+			"overflow":     gr.OverflowTotal,
+			"overflowPeak": gr.OverflowPeak,
+			"hotspots":     gr.HotspotFrac,
+			"margin":       gr.CongestionMargin(),
+		}, nil)
+	}); err != nil {
 		return res, err
 	}
-	res.Global = route.GlobalRoute(n, route.GlobalOptions{
-		Seed:          subSeed(opts.Seed, 4),
-		TracksPerEdge: opts.TracksPerEdge,
-	})
-	res.RuntimeProxy += res.Global.WirelengthUm / 5000
-	emit("groute", map[string]float64{
-		"wirelength":   res.Global.WirelengthUm,
-		"overflow":     res.Global.OverflowTotal,
-		"overflowPeak": res.Global.OverflowPeak,
-		"hotspots":     res.Global.HotspotFrac,
-		"margin":       res.Global.CongestionMargin(),
-	}, nil)
 
 	// Detailed routing, with the live doomed-run hook when the observer
 	// supervises. The hook sees iterations as they complete; its STOP
 	// truncates the run in place, which is where the compute reclaim of
-	// Figs. 9-10 actually happens.
-	if err := boundary("droute"); err != nil {
-		return res, err
-	}
+	// Figs. 9-10 actually happens. The body routes under the stage
+	// context so a watchdog reap aborts the router within one rip-up
+	// pass instead of waiting out the iteration budget.
 	var hook route.IterHook
 	if sup, ok := obs.(RouteSupervisor); ok {
 		hook = func(iter int, drvs []int) route.IterAction {
 			return sup.RouteIter(design.Name, opts.Seed, iter, drvs)
 		}
 	}
-	res.Route = route.DetailRouteCtx(ctx, res.Global, route.DetailOptions{
-		Iterations: opts.RouteIters,
-		Effort:     opts.RouteEffort,
-		Seed:       subSeed(opts.Seed, 5),
-		StopAfter:  opts.StopRouteAfter,
-		IterHook:   hook,
-	})
-	res.RuntimeProxy += res.Route.RuntimeProxy
-	series := make([]float64, len(res.Route.DRVs))
-	for i, d := range res.Route.DRVs {
-		series[i] = float64(d)
+	var dr *route.DetailResult
+	if err := stage("droute", func(sctx context.Context) {
+		dr = route.DetailRouteCtx(sctx, gr, route.DetailOptions{
+			Iterations: opts.RouteIters,
+			Effort:     opts.RouteEffort,
+			Seed:       subSeed(opts.Seed, 5),
+			StopAfter:  opts.StopRouteAfter,
+			IterHook:   hook,
+		})
+	}, func() {
+		res.Route = dr
+		res.RuntimeProxy += dr.RuntimeProxy
+		series := make([]float64, len(dr.DRVs))
+		for i, d := range dr.DRVs {
+			series[i] = float64(d)
+		}
+		drouteMetrics := map[string]float64{
+			"drvs":       float64(dr.Final),
+			"iterations": float64(dr.IterationsRun),
+		}
+		if dr.StopIter > 0 {
+			drouteMetrics["stopped_at"] = float64(dr.StopIter)
+			drouteMetrics["saved_iters"] = float64(dr.IterationsBudget - dr.IterationsRun)
+		}
+		emit("droute", drouteMetrics, series)
+	}); err != nil {
+		return res, err
 	}
-	drouteMetrics := map[string]float64{
-		"drvs":       float64(res.Route.Final),
-		"iterations": float64(res.Route.IterationsRun),
-	}
-	if res.Route.StopIter > 0 {
-		drouteMetrics["stopped_at"] = float64(res.Route.StopIter)
-		drouteMetrics["saved_iters"] = float64(res.Route.IterationsBudget - res.Route.IterationsRun)
-	}
-	emit("droute", drouteMetrics, series)
 	if res.Route.Aborted {
 		res.Aborted = true
 		res.FailedStage = "droute"
@@ -323,53 +408,64 @@ func RunFault(ctx context.Context, design *netlist.Netlist, opts Options, obs Ob
 	}
 
 	// Signoff timing with CTS skews.
-	if err := boundary("sta"); err != nil {
+	var sign *sta.Report
+	if err := stage("sta", func(context.Context) {
+		sign = sta.Analyze(n, sta.Config{
+			Engine:    sta.Signoff,
+			SI:        true,
+			ClockSkew: res.CTS.SkewPs,
+			DeratePct: opts.DeratePct,
+		})
+	}, func() {
+		res.Sign = sign
+		res.RuntimeProxy += sign.CostUnits
+		emit("sta", map[string]float64{
+			"wns":     sign.WNSPs,
+			"tns":     sign.TNSPs,
+			"maxfreq": sign.MaxFreqGHz,
+		}, nil)
+	}); err != nil {
 		return res, err
 	}
-	res.Sign = sta.Analyze(n, sta.Config{
-		Engine:    sta.Signoff,
-		SI:        true,
-		ClockSkew: res.CTS.SkewPs,
-		DeratePct: opts.DeratePct,
-	})
-	res.RuntimeProxy += res.Sign.CostUnits
-	emit("sta", map[string]float64{
-		"wns":     res.Sign.WNSPs,
-		"tns":     res.Sign.TNSPs,
-		"maxfreq": res.Sign.MaxFreqGHz,
-	}, nil)
 
 	// Optional area recovery on the incremental signoff timer: downsize
 	// whatever the flow left oversized while the margin holds, then
 	// refresh the signoff report if anything changed.
 	if opts.RecoverArea {
-		if err := boundary("recover"); err != nil {
-			return res, err
-		}
 		signCfg := sta.Config{
 			Engine:    sta.Signoff,
 			SI:        true,
 			ClockSkew: res.CTS.SkewPs,
 			DeratePct: opts.DeratePct,
 		}
-		rec := sizing.Recover(n, sizing.Config{
-			Seed:          subSeed(opts.Seed, 6),
-			Engine:        &signCfg,
-			SlackMarginPs: opts.RecoverMarginPs,
-		})
-		res.Recover = &rec
-		// Propagation work is measured in full-Analyze equivalents;
-		// convert to runtime via the signoff run's cost.
-		res.RuntimeProxy += rec.TimerWorkEquiv * res.Sign.CostUnits
-		if rec.Downsized > 0 {
-			res.Sign = sta.Analyze(n, signCfg)
+		var rec sizing.Result
+		var resigned *sta.Report
+		if err := stage("recover", func(context.Context) {
+			rec = sizing.Recover(n, sizing.Config{
+				Seed:          subSeed(opts.Seed, 6),
+				Engine:        &signCfg,
+				SlackMarginPs: opts.RecoverMarginPs,
+			})
+			if rec.Downsized > 0 {
+				resigned = sta.Analyze(n, signCfg)
+			}
+		}, func() {
+			res.Recover = &rec
+			// Propagation work is measured in full-Analyze equivalents;
+			// convert to runtime via the signoff run's cost.
+			res.RuntimeProxy += rec.TimerWorkEquiv * res.Sign.CostUnits
+			if resigned != nil {
+				res.Sign = resigned
+			}
+			emit("recover", map[string]float64{
+				"downsized":  float64(rec.Downsized),
+				"area":       rec.AreaAfter,
+				"wns":        res.Sign.WNSPs,
+				"timer_work": rec.TimerWorkEquiv,
+			}, nil)
+		}); err != nil {
+			return res, err
 		}
-		emit("recover", map[string]float64{
-			"downsized":  float64(rec.Downsized),
-			"area":       rec.AreaAfter,
-			"wns":        res.Sign.WNSPs,
-			"timer_work": rec.TimerWorkEquiv,
-		}, nil)
 	}
 
 	res.AreaUm2 = n.Area() + res.CTS.AreaUm2

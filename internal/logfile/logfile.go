@@ -15,14 +15,19 @@ package logfile
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/cellib"
+	"repro/internal/journal"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
@@ -74,7 +79,7 @@ func Parse(text string) (Run, error) {
 		switch {
 		case strings.HasPrefix(line, "# droute"):
 			if _, err := fmt.Sscanf(line, "# droute run=%d design=%s", &r.ID, &r.Design); err != nil {
-				return r, fmt.Errorf("logfile: bad header %q: %v", line, err)
+				return r, fmt.Errorf("logfile: bad header %q: %w", line, err)
 			}
 			if i := strings.Index(line, "corpus="); i >= 0 {
 				r.Corpus = strings.TrimSpace(line[i+len("corpus="):])
@@ -88,12 +93,12 @@ func Parse(text string) (Run, error) {
 		case strings.HasPrefix(line, "iter "):
 			var it, d int
 			if _, err := fmt.Sscanf(line, "iter %d drvs %d", &it, &d); err != nil {
-				return r, fmt.Errorf("logfile: bad iter line %q: %v", line, err)
+				return r, fmt.Errorf("logfile: bad iter line %q: %w", line, err)
 			}
 			r.DRVs = append(r.DRVs, d)
 		case strings.HasPrefix(line, "final "):
 			if _, err := fmt.Sscanf(line, "final drvs %d success %t", &r.Final, &r.Success); err != nil {
-				return r, fmt.Errorf("logfile: bad final line %q: %v", line, err)
+				return r, fmt.Errorf("logfile: bad final line %q: %w", line, err)
 			}
 			sawFinal = true
 		case line == "":
@@ -135,6 +140,32 @@ type CorpusSpec struct {
 	// bit-identical to the unsupervised corpus (the hook never touches
 	// the rng stream); stopped runs are truncated with StoppedAt set.
 	Supervise func(id int, design string) route.IterHook
+
+	// JournalDir, when non-empty, makes GenerateJournaled crash-safe:
+	// every completed run is appended to a durable write-ahead journal
+	// in this directory, and a restarted generation replays the journal
+	// instead of recomputing. When every run replays, the design/
+	// placement/global-routing substrates are not built at all.
+	JournalDir string
+	// JournalSalt distinguishes corpora that share a spec but must not
+	// share journal entries — e.g. a supervised corpus whose stopped
+	// runs differ from the unsupervised corpus generated from the same
+	// seeds.
+	JournalSalt string
+}
+
+// runKey identifies one corpus run for the journal: every spec field
+// that shapes the run's content, plus its id and pre-drawn seed. A
+// changed spec changes the keys, so stale entries are skipped (and
+// preserved), never served.
+func (c CorpusSpec) runKey(id int, runSeed int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d|%d|%d|%d", c.Name, c.JournalSalt, c.Seed, c.Designs, c.Iterations, len(c.TrackSupplies))
+	for _, s := range c.TrackSupplies {
+		fmt.Fprintf(&b, "|%g", s)
+	}
+	fmt.Fprintf(&b, "|run%d|%d", id, runSeed)
+	return b.String()
 }
 
 func (c CorpusSpec) withDefaults() CorpusSpec {
@@ -175,7 +206,96 @@ func (c CorpusSpec) withDefaults() CorpusSpec {
 // order the serial loop consumed them, so the corpus does not depend on
 // scheduling.
 func Generate(spec CorpusSpec) []Run {
+	return generate(spec.withDefaults(), nil, nil)
+}
+
+// corpusEntry is the journaled form of one completed corpus run.
+type corpusEntry struct {
+	Key string
+	Run Run
+}
+
+// GenerateJournaled is Generate backed by the write-ahead journal in
+// spec.JournalDir: completed runs are durably appended as they finish,
+// and a generation restarted after a crash replays them instead of
+// recomputing (bit-identically — a corpus run is a pure function of its
+// pre-drawn seed). Journal append failures are surfaced in the returned
+// error but never abort generation; the runs slice is always complete.
+// With an empty JournalDir this is exactly Generate.
+func GenerateJournaled(spec CorpusSpec) ([]Run, error) {
 	spec = spec.withDefaults()
+	if spec.JournalDir == "" {
+		return generate(spec, nil, nil), nil
+	}
+	log, err := journal.Open(spec.JournalDir, journal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("logfile: open corpus journal: %w", err)
+	}
+
+	cached := map[string]Run{}
+	corrupt := 0
+	for _, rec := range log.Records() {
+		var e corpusEntry
+		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&e); err != nil || e.Key == "" {
+			corrupt++
+			continue
+		}
+		cached[e.Key] = e.Run
+	}
+	if corrupt > 0 {
+		metrics.Add("logfile.journal.corrupt", int64(corrupt))
+	}
+
+	var mu sync.Mutex
+	var appendErr error
+	replayed := 0
+	lookup := func(key string) (Run, bool) {
+		r, ok := cached[key]
+		if ok {
+			mu.Lock()
+			replayed++
+			mu.Unlock()
+		}
+		return r, ok
+	}
+	record := func(key string, r Run) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(corpusEntry{Key: key, Run: r}); err == nil {
+			err = log.Append(buf.Bytes())
+		} else {
+			err = fmt.Errorf("logfile: encode journal entry: %w", err)
+		}
+		if err != nil {
+			mu.Lock()
+			if appendErr == nil {
+				appendErr = fmt.Errorf("logfile: journal append: %w", err)
+			}
+			mu.Unlock()
+			metrics.Add("logfile.journal.append_err", 1)
+			return
+		}
+		metrics.Add("logfile.journal.appended", 1)
+	}
+	runs := generate(spec, lookup, record)
+	if replayed > 0 {
+		metrics.Add("logfile.journal.replayed", int64(replayed))
+	}
+	if skipped := len(cached) - replayed; skipped > 0 {
+		// Entries whose keys match no requested run: a changed spec.
+		// They stay on disk untouched.
+		metrics.Add("logfile.journal.skipped", int64(skipped))
+	}
+	if err := log.Close(); err != nil && appendErr == nil {
+		appendErr = fmt.Errorf("logfile: close corpus journal: %w", err)
+	}
+	return runs, appendErr
+}
+
+// generate is the corpus generator core. lookup (optional) serves a run
+// from the journal by key; record (optional) durably appends a freshly
+// computed run. When every run is served by lookup, the substrate build
+// — the expensive part — is skipped entirely.
+func generate(spec CorpusSpec, lookup func(key string) (Run, bool), record func(key string, r Run)) []Run {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	lib := cellib.Default14nm()
 	eng := campaign.New(campaign.Config{Workers: campaign.Workers(spec.Workers)})
@@ -196,6 +316,27 @@ func Generate(spec CorpusSpec) []Run {
 	runSeeds := make([]int64, spec.Runs)
 	for id := range runSeeds {
 		runSeeds[id] = rng.Int63()
+	}
+
+	// Resolve which runs the journal already holds. When it holds all of
+	// them, the substrate build below — the expensive part of corpus
+	// generation — is skipped entirely: a fully journaled regeneration
+	// costs only the replay.
+	keys := make([]string, spec.Runs)
+	cachedRun := make([]bool, spec.Runs)
+	cachedVal := make([]Run, spec.Runs)
+	uncached := spec.Runs
+	if lookup != nil {
+		for id := range keys {
+			keys[id] = spec.runKey(id, runSeeds[id])
+			if r, ok := lookup(keys[id]); ok {
+				cachedRun[id], cachedVal[id] = true, r
+				uncached--
+			}
+		}
+	}
+	if uncached == 0 {
+		return cachedVal
 	}
 
 	// Build the congestion substrates: per design, per track supply,
@@ -237,6 +378,10 @@ func Generate(spec CorpusSpec) []Run {
 
 	runs := make([]Run, spec.Runs)
 	campaign.Map(ctx, eng, spec.Runs, func(id int) struct{} { //nolint:errcheck // background ctx never cancels
+		if cachedRun[id] {
+			runs[id] = cachedVal[id]
+			return struct{}{}
+		}
 		s := subs[id%len(subs)]
 		opts := route.DetailOptions{
 			Iterations: spec.Iterations,
@@ -247,6 +392,9 @@ func Generate(spec CorpusSpec) []Run {
 		}
 		res := route.DetailRouteCtx(ctx, s.g, opts)
 		runs[id] = FromDetail(id, s.design, spec.Name, res)
+		if record != nil {
+			record(keys[id], runs[id])
+		}
 		return struct{}{}
 	})
 	return runs

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -67,10 +68,20 @@ func (c *Counters) Snapshot() map[string]int64 {
 
 // Write renders the counters in sorted order, one "name value" per line.
 func (c *Counters) Write(w io.Writer) {
+	c.WritePrefix(w, "")
+}
+
+// WritePrefix renders the counters whose names start with prefix, in
+// sorted order, one "name value" per line — how a CLI reports one
+// subsystem's counters (say, campaign.journal.*) without dumping the
+// whole registry. An empty prefix renders everything.
+func (c *Counters) WritePrefix(w io.Writer, prefix string) {
 	snap := c.Snapshot()
 	names := make([]string, 0, len(snap))
 	for k := range snap {
-		names = append(names, k)
+		if strings.HasPrefix(k, prefix) {
+			names = append(names, k)
+		}
 	}
 	sort.Strings(names)
 	for _, k := range names {

@@ -50,3 +50,20 @@ func TestCountersWriteSorted(t *testing.T) {
 		t.Error("counters not sorted")
 	}
 }
+
+func TestCountersWritePrefix(t *testing.T) {
+	c := NewCounters()
+	c.Add("journal.appends", 3)
+	c.Add("journal.syncs", 2)
+	c.Add("cache.hit", 9)
+	var buf bytes.Buffer
+	c.WritePrefix(&buf, "journal.")
+	if got, want := buf.String(), "journal.appends 3\njournal.syncs 2\n"; got != want {
+		t.Fatalf("WritePrefix = %q, want %q", got, want)
+	}
+	buf.Reset()
+	c.WritePrefix(&buf, "")
+	if got := buf.String(); !strings.Contains(got, "cache.hit 9") {
+		t.Fatalf("empty prefix dropped counters: %q", got)
+	}
+}

@@ -202,7 +202,7 @@ func Evaluate(ropes []Rope, samples []Sample, testFrac float64, seed int64) ([]E
 		scaler := ml.FitScaler(xtr)
 		reg, err := ml.FitRidge(scaler.Transform(xtr), ytr, 1.0)
 		if err != nil {
-			return nil, fmt.Errorf("predict: %s: %v", rope.Name, err)
+			return nil, fmt.Errorf("predict: %s: %w", rope.Name, err)
 		}
 		predTr := reg.PredictAll(scaler.Transform(xtr))
 		predTe := reg.PredictAll(scaler.Transform(xte))

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGuardCompletesInTime(t *testing.T) {
+	ran := false
+	err := Guard(context.Background(), time.Second, func(ctx context.Context) { ran = true })
+	if err != nil || !ran {
+		t.Fatalf("Guard = %v, ran = %t; want nil, true", err, ran)
+	}
+}
+
+func TestGuardInlineWhenDisabled(t *testing.T) {
+	ran := false
+	if err := Guard(context.Background(), 0, func(ctx context.Context) { ran = true }); err != nil || !ran {
+		t.Fatalf("Guard(0) = %v, ran = %t; want nil, true", err, ran)
+	}
+}
+
+func TestGuardReapsHungTask(t *testing.T) {
+	released := make(chan struct{})
+	start := time.Now()
+	err := Guard(context.Background(), 20*time.Millisecond, func(ctx context.Context) {
+		<-ctx.Done() // a wedged tool that only dies when reaped
+		close(released)
+	})
+	if !errors.Is(err, ErrHung) {
+		t.Fatalf("Guard on hung task = %v, want ErrHung", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("guarded function never saw its context cancelled")
+	}
+}
+
+func TestGuardParentCancelReleasesCooperativeTask(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	// A cooperative task returns once cancelled; Guard then reports
+	// normal completion and the caller's ctx check sees the abort.
+	err := Guard(ctx, time.Minute, func(sctx context.Context) { <-sctx.Done() })
+	if err != nil {
+		t.Fatalf("Guard on cooperative cancel = %v, want nil", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("parent context should be cancelled")
+	}
+}

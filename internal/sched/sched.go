@@ -6,7 +6,9 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"time"
 )
 
 // Pool limits concurrent task execution to a fixed number of licenses.
@@ -133,6 +135,43 @@ func (p *Pool) leave() {
 	p.mu.Lock()
 	p.active--
 	p.mu.Unlock()
+}
+
+// ErrHung is returned by Guard when the guarded function misses its
+// deadline and is abandoned.
+var ErrHung = errors.New("sched: watchdog deadline exceeded")
+
+// Guard runs f under a hung-task watchdog: f receives a context that is
+// cancelled when the deadline expires, and Guard returns ErrHung
+// without waiting for f to come back — exactly as a flow manager reaps
+// a wedged tool process and releases its license. With timeout <= 0 the
+// watchdog is off and f runs inline on the caller's goroutine.
+//
+// Contract for f when a watchdog is armed: after its context is
+// cancelled it must stop touching state shared with the caller, because
+// the caller may already have moved on. Callers should have f compute
+// into locals and publish them only after Guard returns nil (f is then
+// known to have finished: the completion is synchronized).
+func Guard(ctx context.Context, timeout time.Duration, f func(ctx context.Context)) error {
+	if timeout <= 0 {
+		f(ctx)
+		return nil
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f(sctx)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		return ErrHung
+	}
 }
 
 // Stats reports usage counters: the peak concurrency observed, the total

@@ -9,6 +9,16 @@
 #                             speedups to BENCH_campaign.json /
 #                             BENCH_sta.json, and the live doomed-run
 #                             abort gate to BENCH_doomed.json
+#   scripts/check.sh crash    crash-safety tier: -race over the journal/
+#                             watchdog/campaign/flow paths, a fuzz smoke
+#                             of the journal decoder, then a real kill -9
+#                             soak — journaled sweeps killed at several
+#                             points and resumed at worker counts 1 and
+#                             8 must reproduce the uninterrupted output
+#                             byte-for-byte
+#
+# BENCH_*.json files are written atomically (temp + rename), so a gate
+# failure or a kill mid-write never leaves a torn or half-updated file.
 #
 # The bench mode runs BenchmarkCampaignSerial (the plain flow.Run loop)
 # against BenchmarkCampaignParallel (campaign engine + memo cache), and
@@ -51,8 +61,9 @@ if [ "${1:-}" = "bench" ]; then
             speedup = serial / parallel
             printf "campaign_speedup_x=%.2f\n", speedup
             printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s}\n", \
-                serial, parallel, speedup, hit, qor > "BENCH_campaign.json"
+                serial, parallel, speedup, hit, qor > "BENCH_campaign.json.tmp"
         }'
+    mv BENCH_campaign.json.tmp BENCH_campaign.json
 
     out=$(go test -run=NONE -bench='BenchmarkRecover(Full|Incremental)$' -benchtime=1x ./internal/sizing/)
     echo "$out"
@@ -75,7 +86,7 @@ if [ "${1:-}" = "bench" ]; then
             speedup = full / incr
             printf "sta_recover_speedup_x=%.2f\n", speedup
             printf "{\"benchmark\":\"sta_recover\",\"full_ns_per_op\":%s,\"incremental_ns_per_op\":%s,\"speedup_x\":%.2f,\"area_um2\":%s,\"wns_ps\":%s}\n", \
-                full, incr, speedup, incr_area, incr_wns > "BENCH_sta.json"
+                full, incr, speedup, incr_area, incr_wns > "BENCH_sta.json.tmp"
             if (full_area != incr_area || full_wns != incr_wns) {
                 printf "check.sh: full/incremental QoR mismatch: area %s vs %s, wns %s vs %s\n", \
                     full_area, incr_area, full_wns, incr_wns > "/dev/stderr"
@@ -86,6 +97,7 @@ if [ "${1:-}" = "bench" ]; then
                 exit 1
             }
         }'
+    mv BENCH_sta.json.tmp BENCH_sta.json
 
     # Live doomed-run abort gate: supervised execution of the Fig. 9
     # test corpus must reclaim >= 20% of detail-route iterations while
@@ -107,7 +119,7 @@ if [ "${1:-}" = "bench" ]; then
             }
             printf "doomed_live_reclaimed_pct=%s\n", pct
             printf "{\"benchmark\":\"doomed_live\",\"baseline_iters\":%s,\"saved_iters\":%s,\"saved_pct\":%s,\"posthoc_saved_iters\":%s,\"qor_mismatches\":%s,\"error_pct\":%s}\n", \
-                base, saved, pct, posthoc, mism, err > "BENCH_doomed.json"
+                base, saved, pct, posthoc, mism, err > "BENCH_doomed.json.tmp"
             if (mism + 0 != 0) {
                 printf "check.sh: doomed-live QoR drift on %s finished runs\n", mism > "/dev/stderr"
                 exit 1
@@ -117,4 +129,80 @@ if [ "${1:-}" = "bench" ]; then
                 exit 1
             }
         }'
+    mv BENCH_doomed.json.tmp BENCH_doomed.json
+fi
+
+if [ "${1:-}" = "crash" ]; then
+    # Crash-safety tier.
+    #
+    # 1. Race-enabled tests over the durability substrate: the journal,
+    #    the watchdog, and the campaign/flow paths that append to and
+    #    replay from it.
+    go test -race ./internal/journal/... ./internal/sched/... \
+        ./internal/campaign/... ./internal/flow/... ./internal/logfile/...
+
+    # 2. Fuzz smoke of the journal decoder: no input may crash it or
+    #    make recovery report success on a corrupt record.
+    go test -run=NONE -fuzz='FuzzJournalDecode' -fuzztime=10s ./internal/journal/
+
+    # 3. Real kill -9 soak. A journaled sweep is killed at several
+    #    points in its life, then resumed; the resumed output must be
+    #    byte-identical to an uninterrupted reference sweep. One killed
+    #    journal is additionally resumed at worker counts 1 and 8 to
+    #    prove worker count never changes results.
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    go build -o "$work/sprflow" ./cmd/sprflow
+
+    sweep_flags="-design tiny -sweep 4 -parallel 4"
+    "$work/sprflow" $sweep_flags > "$work/ref.out"
+
+    kept=""
+    for delay in 0.05 0.15 0.3 0.45 0.6 0.9; do
+        jdir="$work/j$delay"
+        "$work/sprflow" $sweep_flags -journal "$jdir" \
+            > "$work/killed.out" 2> "$work/killed.err" &
+        pid=$!
+        sleep "$delay"
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+
+        # Snapshot the as-killed journal (possibly torn) before resume
+        # heals it, so the worker-count check below resumes the same
+        # partial journal the kill left behind.
+        cp -r "$jdir" "$work/snap"
+
+        "$work/sprflow" $sweep_flags -journal "$jdir" -resume \
+            > "$work/resumed.out" 2> "$work/resumed.err"
+        if ! diff -u "$work/ref.out" "$work/resumed.out"; then
+            echo "check.sh: resumed sweep (killed at ${delay}s) differs from reference" >&2
+            exit 1
+        fi
+        # Remember one journal that was killed mid-flight (some points
+        # durable, some not) for the worker-count invariance check.
+        if [ -z "$kept" ] && grep -q 'replayed=[1-9]' "$work/resumed.err"; then
+            kept="$work/kept"
+            mv "$work/snap" "$kept"
+        else
+            rm -rf "$work/snap"
+        fi
+        rm -rf "$jdir"
+    done
+
+    if [ -n "$kept" ]; then
+        for workers in 1 8; do
+            jdir="$work/kept-w$workers"
+            cp -r "$kept" "$jdir"
+            "$work/sprflow" -design tiny -sweep 4 -parallel "$workers" \
+                -journal "$jdir" -resume \
+                > "$work/w$workers.out" 2> "$work/w$workers.err"
+            if ! diff -u "$work/ref.out" "$work/w$workers.out"; then
+                echo "check.sh: resume at $workers workers differs from reference" >&2
+                exit 1
+            fi
+        done
+    else
+        echo "check.sh: no mid-flight journal captured for worker sweep (machine too fast/slow?)" >&2
+    fi
+    echo "crash_soak=ok"
 fi
