@@ -7,4 +7,7 @@ bench:
 crash:
 	scripts/check.sh crash
 
-.PHONY: check bench crash
+trace-demo:
+	scripts/check.sh trace
+
+.PHONY: check bench crash trace-demo

@@ -16,6 +16,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/trace"
 )
 
 // campaignStudies is how many times the benchmark workload revisits the
@@ -77,4 +78,42 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 	b.ReportMetric(area, "qor_area_sum")
 	b.ReportMetric(hitRate, "cache_hit_rate")
+}
+
+// BenchmarkCampaignTraced is BenchmarkCampaignParallel with the tracer
+// armed: every campaign point, flow stage, route iteration, and
+// scheduler wait emits a span. scripts/check.sh bench compares it
+// against the untraced parallel run and gates the overhead at <=5% —
+// the cost of full observability must stay in the noise.
+func BenchmarkCampaignTraced(b *testing.B) {
+	design := NewDesign(DefaultLibrary(), TinyDesign(1))
+	pts := campaignBenchPoints(design, campaign.KeyFor(design))
+	var area, hitRate float64
+	var spans int
+	for i := 0; i < b.N; i++ {
+		// Fresh tracer and cache per iteration, mirroring the parallel
+		// benchmark's cold start; span retention is capped so b.N sets
+		// memory, not span volume.
+		tr := trace.New(1 << 14)
+		trace.Enable(tr)
+		cache := campaign.NewCache(0)
+		eng := campaign.New(campaign.Config{Cache: cache})
+		area = 0
+		for study := 0; study < campaignStudies; study++ {
+			results, err := eng.Run(context.Background(), pts)
+			if err != nil {
+				trace.Disable()
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				area += r.AreaUm2
+			}
+		}
+		hitRate = cache.HitRate()
+		trace.Disable()
+		spans = tr.Len()
+	}
+	b.ReportMetric(area, "qor_area_sum")
+	b.ReportMetric(hitRate, "cache_hit_rate")
+	b.ReportMetric(float64(spans), "spans")
 }

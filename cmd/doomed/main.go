@@ -13,12 +13,17 @@
 //	doomed -all           # everything
 //	      [-scale small|paper] [-seed 1] [-parallel N]
 //	      [-journal DIR] [-resume]
+//	      [-trace trace.json] [-metrics-addr :8080]
 //
 // With -journal DIR the logfile corpora behind every experiment are
 // generated crash-safely: each completed detailed-route run is durably
 // appended to a write-ahead journal, and a rerun after a kill (-resume,
 // or simply the same -journal) replays them bit-identically instead of
 // regenerating — at paper scale that is thousands of router runs.
+//
+// With -trace FILE the corpus generation is traced (route iterations,
+// journal appends) and a Chrome trace_event JSON file is written at
+// exit; -metrics-addr serves the live /metrics and /debug endpoints.
 package main
 
 import (
@@ -28,9 +33,14 @@ import (
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	fig9 := flag.Bool("fig9", false, "print DRV trajectories (Fig. 9)")
 	card := flag.Bool("card", false, "print the MDP strategy card (Fig. 10)")
 	table := flag.Bool("table", false, "print the consecutive-STOP error table (Table 1)")
@@ -41,12 +51,20 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = one per CPU); results are identical at any setting")
 	journalDir := flag.String("journal", "", "durable corpus journal directory (enables checkpoint/resume)")
 	resume := flag.Bool("resume", false, "resume corpora from an existing -journal")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (view in chrome://tracing or Perfetto)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics and /debug endpoints on this address (e.g. :8080)")
 	flag.Parse()
 
 	if *resume && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal DIR")
-		os.Exit(2)
+		return 2
 	}
+	flush, err := obs.Setup(*traceFile, *metricsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer flush()
 	repro.SetWorkers(*parallel)
 	repro.SetCorpusJournal(*journalDir)
 	s := repro.Small
@@ -79,7 +97,8 @@ func main() {
 		metrics.Default.WritePrefix(os.Stderr, "logfile.journal.")
 		if err := repro.CorpusJournalErr(); err != nil {
 			fmt.Fprintf(os.Stderr, "journal degraded: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -6,12 +6,20 @@
 //
 //	sprflow -design pulpino -freq 0.6 -seed 1 [-effort 2] [-robot]
 //	sprflow -design tiny -sweep 4 [-parallel N] [-journal DIR] [-resume]
+//	sprflow -design tiny -sweep 4 -trace trace.json -metrics-addr :8080
 //
 // A -sweep runs the full frequency x seed cross on the campaign engine
 // and prints one stable line per point to stdout (resume accounting
 // goes to stderr). With -journal DIR every completed point is durable:
 // kill -9 the sweep at any moment, rerun it with -resume, and the
 // output is byte-identical to the uninterrupted run.
+//
+// With -trace FILE the whole run is traced — campaign points, flow
+// stages, router iterations, scheduler queue waits, journal fsyncs —
+// and a Chrome trace_event JSON file is written at exit (open it in
+// chrome://tracing or https://ui.perfetto.dev). With -metrics-addr the
+// live introspection endpoints (/metrics, /debug/spans, /debug/hist,
+// /debug/pprof) are served while the run is in flight.
 package main
 
 import (
@@ -21,9 +29,14 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	design := flag.String("design", "pulpino", "design: pulpino, cpu, artificial, tiny")
 	freq := flag.Float64("freq", 0.5, "target frequency, GHz")
 	seed := flag.Int64("seed", 1, "run seed")
@@ -34,7 +47,16 @@ func main() {
 	journalDir := flag.String("journal", "", "durable journal directory for -sweep (enables checkpoint/resume)")
 	resume := flag.Bool("resume", false, "resume a killed -sweep from its -journal (same flags required)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (view in chrome://tracing or Perfetto)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics and /debug endpoints on this address (e.g. :8080)")
 	flag.Parse()
+
+	flush, err := obs.Setup(*traceFile, *metricsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer flush()
 
 	var spec repro.DesignSpec
 	switch *design {
@@ -48,17 +70,16 @@ func main() {
 		spec = repro.TinyDesign(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
-		os.Exit(2)
+		return 2
 	}
 	d := repro.NewDesign(repro.DefaultLibrary(), spec)
 
 	if *resume && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal DIR")
-		os.Exit(2)
+		return 2
 	}
 	if *sweep > 0 {
-		runSweep(d, *freq, *seed, *effort, *sweep, *parallel, *journalDir, *stageTimeout)
-		return
+		return runSweep(d, *freq, *seed, *effort, *sweep, *parallel, *journalDir, *stageTimeout)
 	}
 
 	stats := d.ComputeStats()
@@ -75,9 +96,9 @@ func main() {
 				i, a.Options.TargetFreqGHz, a.Result.Met, a.Result.WNSPs, a.Result.Route.Final, a.Reason)
 		}
 		if !out.Succeeded {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	res := repro.RunFlow(d, opts)
@@ -95,8 +116,9 @@ func main() {
 	fmt.Printf("QOR:     area %.1f um2, power %.1f nW, met=%t, runtime proxy %.1f\n",
 		res.AreaUm2, res.PowerNW, res.Met, res.RuntimeProxy)
 	if !res.Met {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runSweep executes the crash-safe QOR sweep: nSeeds seeds at three
@@ -104,7 +126,7 @@ func main() {
 // order — a stable byte stream — while journal/resume accounting goes
 // to stderr, so `diff` between a resumed and an uninterrupted sweep
 // compares only results.
-func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, parallel int, journalDir string, stageTimeout time.Duration) {
+func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, parallel int, journalDir string, stageTimeout time.Duration) int {
 	freqs := []float64{0.8 * baseFreq, baseFreq, 1.2 * baseFreq}
 	seeds := make([]int64, nSeeds)
 	for i := range seeds {
@@ -121,7 +143,7 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, par
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep failed: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if journalDir != "" {
 		rec := res.Recovery
@@ -134,4 +156,5 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, par
 		}
 	}
 	res.Print(os.Stdout)
+	return 0
 }

@@ -188,7 +188,7 @@ func (c *Cache) insert(s *cacheShard, key string, e *cacheEntry) {
 			s.order = s.order[1:]
 			delete(s.entries, oldest)
 			c.evictions.Add(1)
-			metrics.Add("campaign.cache.evict", 1)
+			metrics.Add("campaign.cache.evicted", 1)
 		}
 		s.order = append(s.order, key)
 	}

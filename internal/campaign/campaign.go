@@ -27,6 +27,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/route"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Point is one flow run in a campaign: a design, its cache identity and
@@ -198,8 +199,11 @@ type pointOutcome struct {
 // per Config.Retry; a point that fails permanently stays nil and Run
 // returns a *RunError listing it.
 func (e *Engine) Run(ctx context.Context, pts []Point) ([]*flow.Result, error) {
+	ctx, runSpan := trace.Start(ctx, "campaign.run")
+	runSpan.SetInt("points", int64(len(pts)))
+	runSpan.SetInt("workers", int64(e.pool.Licenses()))
 	outs, ran, err := sched.MapCtx(ctx, e.pool, len(pts), func(i int) pointOutcome {
-		return e.runPoint(ctx, pts[i])
+		return e.runPoint(ctx, pts[i], i)
 	})
 	results := make([]*flow.Result, len(pts))
 	var failed []PointError
@@ -217,52 +221,92 @@ func (e *Engine) Run(ctx context.Context, pts []Point) ([]*flow.Result, error) {
 		}
 	}
 	if abandoned > 0 {
-		metrics.Add("campaign.abandoned", int64(abandoned))
+		metrics.Add("campaign.point.abandoned", int64(abandoned))
 	}
-	if err != nil {
+	e.mirrorPoolStats()
+	switch {
+	case err != nil:
+		runSpan.EndErr(err)
 		return results, err
-	}
-	if len(failed) > 0 {
+	case len(failed) > 0:
+		runSpan.SetInt("failed", int64(len(failed)))
+		runSpan.EndWith(trace.Failed)
 		return results, &RunError{Failed: failed}
 	}
+	runSpan.End()
 	return results, nil
+}
+
+// mirrorPoolStats publishes the license pool's counters into the
+// process-wide registry under sched.* gauge names. The pool itself
+// cannot (metrics depends on flow, flow on sched), so the campaign
+// layer — the pool's main customer — mirrors after every run.
+func (e *Engine) mirrorPoolStats() {
+	peak, total, maxWait := e.pool.Stats()
+	metrics.Set("sched.active.peak", int64(peak))
+	metrics.Set("sched.task.total", int64(total))
+	metrics.Set("sched.queue.depth", int64(maxWait))
 }
 
 // runPoint executes one point with the engine's retry policy. Attempt
 // numbers feed the fault injector, so a retried point draws fresh fault
-// coins while staying deterministic at any worker count.
-func (e *Engine) runPoint(ctx context.Context, p Point) pointOutcome {
+// coins while staying deterministic at any worker count. The span per
+// point (campaign.point) carries the point's index, seed and final
+// outcome; each re-run gets a campaign.attempt child, so retry storms
+// are visible as repeated attempt spans under one point.
+func (e *Engine) runPoint(ctx context.Context, p Point, index int) pointOutcome {
+	ctx, psp := trace.Start(ctx, "campaign.point")
+	psp.SetInt("index", int64(index))
+	psp.SetInt("seed", p.Options.Seed)
 	var lastErr error
 	for attempt := 0; attempt <= e.retry.Max; attempt++ {
 		if attempt > 0 {
-			metrics.Add("campaign.retry", 1)
+			metrics.Add("campaign.point.retried", 1)
 			if e.retry.Backoff > 0 {
 				select {
 				case <-time.After(time.Duration(attempt) * e.retry.Backoff):
 				case <-ctx.Done():
+					psp.EndWith(trace.Aborted)
 					return pointOutcome{err: ctx.Err()}
 				}
 			}
 		}
-		res, err := e.runOnce(ctx, p, attempt)
+		actx, asp := trace.Start(ctx, "campaign.attempt")
+		asp.SetInt("attempt", int64(attempt))
+		res, hit, err := e.runOnce(actx, p, attempt)
 		if err == nil {
+			if hit {
+				asp.EndWith(trace.CacheHit)
+				psp.SetInt("attempts", int64(attempt+1))
+				psp.EndWith(trace.CacheHit)
+			} else {
+				asp.End()
+				psp.SetInt("attempts", int64(attempt+1))
+				psp.End()
+			}
 			return pointOutcome{res: res}
 		}
 		if ctx.Err() != nil {
 			// Cancellation is a campaign decision, not a tool fault —
 			// never retried, never recorded.
+			asp.EndWith(trace.Aborted)
+			psp.EndWith(trace.Aborted)
 			return pointOutcome{err: ctx.Err()}
 		}
+		asp.EndWith(trace.Retry)
 		countFault(err)
 		lastErr = err
 	}
-	metrics.Add("campaign.point_failed", 1)
+	metrics.Add("campaign.point.failed", 1)
+	psp.EndWith(trace.Failed)
 	return pointOutcome{err: lastErr}
 }
 
 // runOnce is a single attempt at a point: cache-aware, observer-aware,
-// journal-aware.
-func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Result, error) {
+// journal-aware. The returned hit flag reports whether the result was
+// served from the memo cache (including coalesced waits on an in-flight
+// compute) rather than computed by this attempt.
+func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Result, bool, error) {
 	if e.cache == nil || p.DesignKey == "" {
 		// Uncached points are also unjournaled: without a design key
 		// there is no identity to resume them under.
@@ -270,10 +314,10 @@ func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Resul
 			Observer: e.obs, Faults: e.faults, Attempt: attempt, StageTimeout: e.stageTimeout,
 		})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		e.countStopped(res)
-		return res, nil
+		return res, false, nil
 	}
 	key := p.cacheKey()
 	res, steps, hit, err := e.cache.DoRecorded(key, func() (*flow.Result, []flow.StepRecord, error) {
@@ -294,7 +338,7 @@ func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Resul
 		return res, rec.steps, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if hit && e.obs != nil {
 		// Memoized point: replay the records its compute emitted so the
@@ -303,10 +347,10 @@ func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Resul
 			e.obs.OnStep(rec)
 		}
 		if len(steps) > 0 {
-			metrics.Add("campaign.cache.observer_replays", 1)
+			metrics.Add("campaign.cache.replayed", 1)
 		}
 	}
-	return res, nil
+	return res, hit, nil
 }
 
 // countStopped mirrors live doomed-run stops into the campaign counters

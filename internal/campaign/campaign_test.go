@@ -275,7 +275,7 @@ func TestCachedPointsReplayStepRecords(t *testing.T) {
 	eng := New(Config{Workers: 2, Cache: NewCache(0), Observer: obs})
 	pts := Points(design, KeyFor(design), flow.Options{TargetFreqGHz: 0.4}, []int64{1, 2})
 
-	replaysBefore := metrics.Get("campaign.cache.observer_replays")
+	replaysBefore := metrics.Get("campaign.cache.replayed")
 	// Three campaigns over the same points: 1 computed + 2 memoized.
 	for round := 0; round < 3; round++ {
 		if _, err := eng.Run(context.Background(), pts); err != nil {
@@ -287,7 +287,7 @@ func TestCachedPointsReplayStepRecords(t *testing.T) {
 			t.Errorf("seed %d delivered %d droute records, want 3 (1 computed + 2 replayed)", seed, n)
 		}
 	}
-	if got := metrics.Get("campaign.cache.observer_replays") - replaysBefore; got != 4 {
+	if got := metrics.Get("campaign.cache.replayed") - replaysBefore; got != 4 {
 		t.Errorf("observer_replays counter moved by %d, want 4 (2 points x 2 memoized rounds)", got)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/journal"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Entry is one journaled point: the memo key that identifies it plus
@@ -81,23 +82,29 @@ func (j *Journal) Stats() journal.RecoveryStats { return j.log.Stats() }
 // skipped, and an append failure is remembered in Err but does not fail
 // the campaign.
 func (j *Journal) record(key string, res *flow.Result, steps []flow.StepRecord) {
+	sp := trace.Begin("campaign.journal.append")
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, dup := j.seen[key]; dup {
 		metrics.Add("campaign.journal.duplicate", 1)
+		sp.EndWith(trace.CacheHit)
 		return
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(Entry{Key: key, Res: res, Steps: steps}); err != nil {
 		j.fail(fmt.Errorf("campaign: encode journal entry: %w", err))
+		sp.EndWith(trace.Failed)
 		return
 	}
 	if err := j.log.Append(buf.Bytes()); err != nil {
 		j.fail(fmt.Errorf("campaign: journal append: %w", err))
+		sp.EndWith(trace.Failed)
 		return
 	}
 	j.seen[key] = struct{}{}
 	metrics.Add("campaign.journal.appended", 1)
+	sp.SetInt("bytes", int64(buf.Len()))
+	sp.End()
 }
 
 // markSeen suppresses future appends for a key that is already durable
@@ -163,6 +170,8 @@ func (e *Engine) Replay(pts []Point) (ResumeStats, error) {
 	if e.cache == nil {
 		return ResumeStats{}, fmt.Errorf("campaign: Replay: engine has no cache")
 	}
+	sp := trace.Begin("campaign.journal.replay")
+	defer sp.End()
 	known := make(map[string]struct{}, len(pts))
 	for _, p := range pts {
 		if p.DesignKey != "" {

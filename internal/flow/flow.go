@@ -12,6 +12,7 @@ package flow
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/cts"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/sizing"
 	"repro/internal/sta"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 // Options is one point in the flow-option tree of the paper's Fig. 5(a):
@@ -199,6 +201,29 @@ type RunConfig struct {
 	StageTimeout time.Duration
 }
 
+// endStageSpan closes a stage span with the outcome the stage's error
+// implies: nil = ok, a watchdog/hang fault = hung, any other injected
+// fault = failed, context death = aborted.
+func endStageSpan(sp *trace.Span, err error) {
+	if sp == nil {
+		return
+	}
+	var fe *FaultError
+	switch {
+	case err == nil:
+		sp.End()
+	case errors.As(err, &fe):
+		sp.Set("fault", fe.Kind)
+		if fe.Kind == FaultHang {
+			sp.EndWith(trace.Hung)
+		} else {
+			sp.EndWith(trace.Failed)
+		}
+	default:
+		sp.EndErr(err)
+	}
+}
+
 // RunCfg executes the full flow under ctx with the given run machinery.
 // Each stage runs in three steps: a boundary gate (context check plus
 // injected crash/license faults), the stage body under the watchdog (see
@@ -207,9 +232,31 @@ type RunConfig struct {
 // the caller's goroutine only after the body is known to have finished,
 // so a reaped stage can never race with the caller: an abandoned body
 // writes only stage-local state that nobody reads.
-func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunConfig) (*Result, error) {
+//
+// When tracing is armed (trace.Enable) the run emits a "flow.run" span
+// with one "flow.<stage>" child per stage, each carrying the stage
+// outcome (ok / hung / failed / aborted) — the per-stage latency
+// histograms and the flow layer of the Chrome trace both come from
+// here.
+func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunConfig) (res *Result, err error) {
 	opts = opts.withDefaults()
-	res := &Result{Options: opts}
+	ctx, runSpan := trace.Start(ctx, "flow.run")
+	if runSpan != nil {
+		runSpan.Set("design", design.Name)
+		runSpan.SetInt("seed", opts.Seed)
+		runSpan.SetInt("attempt", int64(rc.Attempt))
+		defer func() {
+			if err == nil && res != nil && res.Stopped {
+				runSpan.EndWith(trace.Stopped)
+				return
+			}
+			if err != nil && res != nil && res.FailedStage != "" {
+				runSpan.Set("failed_stage", res.FailedStage)
+			}
+			endStageSpan(runSpan, err)
+		}()
+	}
+	res = &Result{Options: opts}
 	obs := rc.Observer
 	emit := func(step string, metrics map[string]float64, series []float64) {
 		if obs != nil {
@@ -226,9 +273,11 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 	// state that commit publishes — never res directly — so that an
 	// abandoned hung stage cannot race with the caller.
 	stage := func(name string, body func(sctx context.Context), commit func()) error {
+		stageCtx, ssp := trace.Start(ctx, "flow."+name)
 		fail := func(err error) error {
 			res.Aborted = true
 			res.FailedStage = name
+			endStageSpan(ssp, err)
 			return err
 		}
 		if err := ctx.Err(); err != nil {
@@ -238,7 +287,9 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 			return fail(err)
 		}
 		completed := false
-		gerr := sched.Guard(ctx, rc.StageTimeout, func(sctx context.Context) {
+		// The body runs under the span-carrying context so work it spawns
+		// (detailed-route iterations) nests under the stage span.
+		gerr := sched.Guard(stageCtx, rc.StageTimeout, func(sctx context.Context) {
 			if !rc.Faults.Hang(sctx, opts.Seed, name, rc.Attempt) {
 				return // wedged "tool" died with its context, never computing
 			}
@@ -249,6 +300,7 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 			// Watchdog reap: the stage missed its deadline. Surface it as
 			// a fault so the campaign retry path treats a hung tool like a
 			// crashed one (the retry draws a fresh hang coin).
+			ssp.Set("watchdog", "reaped")
 			return fail(&FaultError{Stage: name, Kind: FaultHang})
 		}
 		if !completed {
@@ -263,6 +315,7 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 			return fail(&FaultError{Stage: name, Kind: FaultHang})
 		}
 		commit()
+		ssp.End()
 		return nil
 	}
 

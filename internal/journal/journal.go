@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Record layout inside a segment, after the 8-byte segment header:
@@ -142,11 +143,11 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, err
 		}
 	}
-	metrics.Add("journal.open", 1)
-	metrics.Add("journal.recovered_records", int64(l.stats.Records))
+	metrics.Add("journal.log.opened", 1)
+	metrics.Add("journal.log.recovered", int64(l.stats.Records))
 	if l.stats.TornTails > 0 {
-		metrics.Add("journal.torn_tails", int64(l.stats.TornTails))
-		metrics.Add("journal.torn_bytes", l.stats.TornBytes)
+		metrics.Add("journal.log.torn_tails", int64(l.stats.TornTails))
+		metrics.Add("journal.log.torn_bytes", l.stats.TornBytes)
 	}
 	return l, nil
 }
@@ -283,6 +284,17 @@ func (l *Log) Dir() string { return l.dir }
 // the previous record boundary, so one bad append never poisons the
 // records around it.
 func (l *Log) Append(payload []byte) error {
+	// Detached span (there is no context under the mutex): append
+	// latency includes any fsync the policy demands, so the
+	// journal.append histogram is the durability cost a campaign point
+	// pays, and journal.sync isolates the fsync inside it.
+	sp := trace.Begin("journal.append")
+	err := l.append(payload)
+	sp.EndErr(err)
+	return err
+}
+
+func (l *Log) append(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	switch {
@@ -308,17 +320,17 @@ func (l *Log) Append(payload []byte) error {
 		if terr := l.f.Truncate(before); terr == nil {
 			if _, serr := l.f.Seek(before, 0); serr == nil {
 				l.size = before
-				metrics.Add("journal.append_repaired", 1)
+				metrics.Add("journal.append.repaired", 1)
 				return fmt.Errorf("journal: append: %w", err)
 			}
 		}
 		l.broken = fmt.Errorf("journal: unrepairable torn append: %w", err)
-		metrics.Add("journal.broken", 1)
+		metrics.Add("journal.append.broken", 1)
 		return l.broken
 	}
 	l.unsynced++
-	metrics.Add("journal.appends", 1)
-	metrics.Add("journal.bytes", int64(len(buf)))
+	metrics.Add("journal.append.ok", 1)
+	metrics.Add("journal.append.bytes", int64(len(buf)))
 	if l.opts.Sync == SyncAlways || (l.opts.Sync == SyncInterval && l.unsynced >= l.opts.SyncEvery) {
 		if err := l.syncLocked(); err != nil {
 			return err
@@ -345,15 +357,19 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	sp := trace.Begin("journal.sync")
 	if l.injectSync != nil {
 		if err := l.injectSync(); err != nil {
+			sp.EndErr(err)
 			return fmt.Errorf("journal: sync: %w", err)
 		}
 	} else if err := l.f.Sync(); err != nil {
+		sp.EndErr(err)
 		return fmt.Errorf("journal: sync: %w", err)
 	}
+	sp.End()
 	l.unsynced = 0
-	metrics.Add("journal.syncs", 1)
+	metrics.Add("journal.sync.ok", 1)
 	return nil
 }
 
@@ -399,7 +415,7 @@ func (l *Log) rotateLocked() error {
 	l.seq = next
 	l.size = int64(segHeaderLen)
 	l.unsynced = 0
-	metrics.Add("journal.rotations", 1)
+	metrics.Add("journal.segment.rotated", 1)
 	return nil
 }
 

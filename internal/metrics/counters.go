@@ -9,11 +9,17 @@ import (
 	"sync/atomic"
 )
 
-// Counters is a registry of named monotonic counters — the operational
-// side of the METRICS idea applied to the reproduction's own
+// Counters is a registry of named monotonic counters and gauges — the
+// operational side of the METRICS idea applied to the reproduction's own
 // infrastructure (campaign cache hits, pool contention, ...), as opposed
 // to the per-step design records the Store holds. It is safe for
 // concurrent use; counter increments are a single atomic add.
+//
+// Naming scheme: `subsystem.noun.verb` (or `subsystem.noun.noun` for
+// gauges) — e.g. campaign.cache.hit, campaign.point.retried,
+// journal.append.ok, sched.queue.depth — so WritePrefix("campaign.")
+// captures everything campaign-related and dashboards group by the
+// first two segments. New counters must follow it.
 type Counters struct {
 	mu sync.RWMutex
 	m  map[string]*atomic.Int64
@@ -43,6 +49,10 @@ func (c *Counters) Counter(name string) *atomic.Int64 {
 
 // Add increments the named counter.
 func (c *Counters) Add(name string, delta int64) { c.Counter(name).Add(delta) }
+
+// Set stores an absolute value — gauge semantics, for values that are
+// levels rather than event counts (queue depth, pool peaks).
+func (c *Counters) Set(name string, value int64) { c.Counter(name).Store(value) }
 
 // Get returns the current value of a counter (0 if never touched).
 func (c *Counters) Get(name string) int64 {
@@ -97,6 +107,9 @@ var Default = NewCounters()
 
 // Add increments a counter on the Default registry.
 func Add(name string, delta int64) { Default.Add(name, delta) }
+
+// Set stores a gauge value on the Default registry.
+func Set(name string, value int64) { Default.Set(name, value) }
 
 // Get reads a counter from the Default registry.
 func Get(name string) int64 { return Default.Get(name) }

@@ -53,12 +53,12 @@ func TestCountersWriteSorted(t *testing.T) {
 
 func TestCountersWritePrefix(t *testing.T) {
 	c := NewCounters()
-	c.Add("journal.appends", 3)
-	c.Add("journal.syncs", 2)
+	c.Add("journal.append.ok", 3)
+	c.Add("journal.sync.ok", 2)
 	c.Add("cache.hit", 9)
 	var buf bytes.Buffer
 	c.WritePrefix(&buf, "journal.")
-	if got, want := buf.String(), "journal.appends 3\njournal.syncs 2\n"; got != want {
+	if got, want := buf.String(), "journal.append.ok 3\njournal.sync.ok 2\n"; got != want {
 		t.Fatalf("WritePrefix = %q, want %q", got, want)
 	}
 	buf.Reset()

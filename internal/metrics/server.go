@@ -2,35 +2,66 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/json"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/flow"
+	"repro/internal/trace"
 )
 
 // Server is the METRICS collection server: it accepts XML records over
 // HTTP and serves queries — the central box of Fig. 11. (The original
 // used Java servlets and EJB; "reimplementing METRICS with today's
 // commodity networking ... will be much simpler", and it is.)
+//
+// Beyond record collection it is the live introspection surface of a
+// running campaign:
+//
+//	/stats        legacy one-line summary + counter dump
+//	/metrics      plain-text exposition of every counter and latency
+//	              histogram (one "name value" / histogram line each)
+//	/debug/spans  JSON snapshot of the armed tracer: in-flight spans
+//	              (what the campaign is doing right now) and recent
+//	              finished spans
+//	/debug/hist   plain-text per-span-name latency quantiles
+//	/debug/pprof  the standard net/http/pprof handlers
 type Server struct {
 	Store *Store
 
+	// Reg is the server's own counter registry (accepted/rejected
+	// records live here, so counter dumps and Received always agree).
+	// NewServer creates a fresh one; the /metrics and /stats endpoints
+	// render it alongside the process-wide Default registry.
+	Reg *Counters
+
+	// Trace overrides the tracer the /debug endpoints introspect
+	// (default: whatever tracer is armed process-wide at request time).
+	Trace *trace.Tracer
+
 	httpSrv  *http.Server
 	listener net.Listener
-	received atomic.Int64
-	rejected atomic.Int64
 }
+
+// Counter names for the collection path, registered in Server.Reg per
+// the subsystem.noun.verb scheme.
+const (
+	counterReceived = "metrics.server.record.received"
+	counterRejected = "metrics.server.record.rejected"
+)
 
 // NewServer creates a server around a store (a fresh store if nil).
 func NewServer(store *Store) *Server {
 	if store == nil {
 		store = NewStore()
 	}
-	return &Server{Store: store}
+	return &Server{Store: store, Reg: NewCounters()}
 }
 
 // Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
@@ -45,6 +76,14 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/collect", s.handleCollect)
 	mux.HandleFunc("/records", s.handleRecords)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/spans", s.handleSpans)
+	mux.HandleFunc("/debug/hist", s.handleHist)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return ln.Addr().String(), nil
@@ -58,9 +97,18 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Received reports how many records were accepted and how many rejected.
+// Received reports how many records were accepted and how many
+// rejected, reading the same registry counters the dumps render.
 func (s *Server) Received() (accepted, rejected int64) {
-	return s.received.Load(), s.rejected.Load()
+	return s.Reg.Get(counterReceived), s.Reg.Get(counterRejected)
+}
+
+// tracer resolves the tracer the /debug endpoints introspect.
+func (s *Server) tracer() *trace.Tracer {
+	if s.Trace != nil {
+		return s.Trace
+	}
+	return trace.Active()
 }
 
 func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
@@ -70,18 +118,18 @@ func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		s.rejected.Add(1)
+		s.Reg.Add(counterRejected, 1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	rec, err := DecodeXML(body)
 	if err != nil {
-		s.rejected.Add(1)
+		s.Reg.Add(counterRejected, 1)
 		http.Error(w, fmt.Sprintf("bad record: %v", err), http.StatusBadRequest)
 		return
 	}
 	s.Store.Add(rec)
-	s.received.Add(1)
+	s.Reg.Add(counterReceived, 1)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -106,10 +154,109 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	acc, rej := s.Received()
 	fmt.Fprintf(w, "records=%d accepted=%d rejected=%d\n", s.Store.Len(), acc, rej)
-	// Process-wide infrastructure counters (campaign cache, pools).
+	// Server-local + process-wide infrastructure counters.
+	s.Reg.Write(w)
 	Default.Write(w)
+}
+
+// handleMetrics is the plain-text exposition endpoint: every counter
+// ("name value" per line, server registry first, then the process-wide
+// Default) followed by the armed tracer's latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.Reg.Write(w)
+	Default.Write(w)
+	if t := s.tracer(); t != nil {
+		t.Histograms().Write(w)
+	}
+}
+
+// spansResponse is the /debug/spans JSON shape.
+type spansResponse struct {
+	Enabled bool       `json:"enabled"`
+	Live    []liveSpan `json:"live,omitempty"`
+	Done    []doneSpan `json:"done,omitempty"`
+	Dropped int64      `json:"dropped,omitempty"`
+}
+
+type liveSpan struct {
+	ID     uint64  `json:"id"`
+	Parent uint64  `json:"parent,omitempty"`
+	Name   string  `json:"name"`
+	AgeUs  float64 `json:"age_us"`
+}
+
+type doneSpan struct {
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUs float64           `json:"start_us"`
+	DurUs   float64           `json:"dur_us"`
+	Outcome string            `json:"outcome"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// handleSpans is the live campaign introspection endpoint: the armed
+// tracer's in-flight spans (oldest first — a wedged stage shows up at
+// the top with a growing age) plus up to ?n= most recent finished
+// spans (default 100).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	t := s.tracer()
+	if t == nil {
+		json.NewEncoder(w).Encode(spansResponse{Enabled: false}) //nolint:errcheck
+		return
+	}
+	limit := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n >= 0 {
+			limit = n
+		}
+	}
+	resp := spansResponse{Enabled: true}
+	for _, ls := range t.Live() {
+		resp.Live = append(resp.Live, liveSpan{
+			ID: ls.ID, Parent: ls.Parent, Name: ls.Name,
+			AgeUs: float64(ls.Age.Nanoseconds()) / 1e3,
+		})
+	}
+	done, dropped := t.Snapshot()
+	resp.Dropped = dropped
+	if len(done) > limit {
+		resp.Dropped += int64(len(done) - limit)
+		done = done[len(done)-limit:] // keep the most recent
+	}
+	for _, sd := range done {
+		ds := doneSpan{
+			ID: sd.ID, Parent: sd.Parent, Name: sd.Name,
+			StartUs: float64(sd.Start.Nanoseconds()) / 1e3,
+			DurUs:   float64(sd.Dur.Nanoseconds()) / 1e3,
+			Outcome: string(sd.Outcome),
+		}
+		if len(sd.Attrs) > 0 {
+			ds.Attrs = make(map[string]string, len(sd.Attrs))
+			for _, a := range sd.Attrs {
+				ds.Attrs[a.Key] = a.Val
+			}
+		}
+		resp.Done = append(resp.Done, ds)
+	}
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+// handleHist renders the armed tracer's per-span-name latency
+// histograms as plain text.
+func (s *Server) handleHist(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	t := s.tracer()
+	if t == nil {
+		fmt.Fprintln(w, "# tracing off (run with -trace or trace.Enable)")
+		return
+	}
+	t.Histograms().Write(w)
 }
 
 // Transmitter posts records to a METRICS server as XML over HTTP — the
@@ -130,6 +277,13 @@ func NewTransmitter(baseURL string) *Transmitter {
 
 // Transmit sends one record.
 func (t *Transmitter) Transmit(rec Record) error {
+	sp := trace.Begin("metrics.transmit")
+	err := t.transmit(rec)
+	sp.EndErr(err)
+	return err
+}
+
+func (t *Transmitter) transmit(rec Record) error {
 	data, err := EncodeXML(rec)
 	if err != nil {
 		t.failed.Add(1)

@@ -1,0 +1,60 @@
+// Package obs wires the observability flags shared by the CLIs:
+// -trace FILE arms the process-wide tracer and writes a Chrome
+// trace_event JSON file at exit (load it in chrome://tracing or
+// https://ui.perfetto.dev), and -metrics-addr ADDR serves the live
+// introspection endpoints (/metrics, /debug/spans, /debug/hist,
+// /debug/pprof) while the process runs.
+package obs
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Setup arms tracing and/or the metrics server per the flag values
+// (empty string = off) and returns a flush function that must run
+// before the process exits — it writes the trace file and shuts the
+// server down. Callers should route every exit path through it.
+func Setup(traceFile, metricsAddr string) (flush func(), err error) {
+	var tr *trace.Tracer
+	if traceFile != "" {
+		tr = trace.New(0)
+		trace.Enable(tr)
+	}
+	var srv *metrics.Server
+	if metricsAddr != "" {
+		srv = metrics.NewServer(nil)
+		bound, err := srv.Start(metricsAddr)
+		if err != nil {
+			trace.Disable()
+			return nil, fmt.Errorf("metrics server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug on http://%s\n", bound)
+	}
+	return func() {
+		if srv != nil {
+			srv.Close() //nolint:errcheck
+		}
+		if tr == nil {
+			return
+		}
+		trace.Disable()
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: write: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: close: %v\n", err)
+			return
+		}
+		n, _ := tr.Snapshot()
+		fmt.Fprintf(os.Stderr, "trace: wrote %d spans to %s\n", len(n), traceFile)
+	}, nil
+}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"repro/internal/netlist"
+	"repro/internal/trace"
 )
 
 // SuccessDRVThreshold is the paper's success criterion: a detailed
@@ -286,6 +287,10 @@ func DetailRouteCtx(ctx context.Context, g *GlobalResult, opts DetailOptions) *D
 			res.Aborted = true
 			break
 		}
+		// One span per rip-up pass: the innermost layer of the campaign
+		// trace, and the route.iter latency histogram. Costs one nil
+		// check when tracing is off.
+		_, isp := trace.Start(ctx, "route.iter")
 		noise := math.Exp(0.10 * rng.NormFloat64())
 		// Late iterations on congested designs can regress (the
 		// orange curve of Fig. 9): rip-up in hotspots creates new
@@ -301,10 +306,14 @@ func DetailRouteCtx(ctx context.Context, g *GlobalResult, opts DetailOptions) *D
 		res.DRVs = append(res.DRVs, int(drv))
 		res.IterationsRun++
 		res.RuntimeProxy += 1 + drv/5000
+		isp.SetInt("iter", int64(t))
+		isp.SetInt("drvs", int64(drv))
 		if opts.IterHook != nil && opts.IterHook(t, res.DRVs) == Stop {
 			res.StopIter = t
+			isp.EndWith(trace.Stopped)
 			break
 		}
+		isp.End()
 	}
 	res.Final = res.DRVs[len(res.DRVs)-1]
 	res.Success = res.Final < SuccessDRVThreshold

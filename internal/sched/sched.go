@@ -9,6 +9,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Pool limits concurrent task execution to a fixed number of licenses.
@@ -55,6 +57,10 @@ func (p *Pool) RunCtx(ctx context.Context, tasks []func()) error {
 		go func(f func()) {
 			defer wg.Done()
 			p.enqueue()
+			// Queue-wait vs run time are separate spans, so the license-
+			// contention signal (sched.wait p90 vs sched.run p90) falls
+			// straight out of the histograms.
+			_, wsp := trace.Start(ctx, "sched.wait")
 			select {
 			case sem <- struct{}{}:
 				p.dequeue()
@@ -63,15 +69,20 @@ func (p *Pool) RunCtx(ctx context.Context, tasks []func()) error {
 				// context; re-check so a doomed-run STOP kills queued work
 				// the moment it fires instead of letting stragglers run.
 				if ctx.Err() != nil {
+					wsp.EndWith(trace.Aborted)
 					<-sem
 					return
 				}
+				wsp.End()
 			case <-ctx.Done():
 				p.dequeue()
+				wsp.EndWith(trace.Aborted)
 				return
 			}
 			p.enter()
+			_, rsp := trace.Start(ctx, "sched.run")
 			f()
+			rsp.End()
 			p.leave()
 			<-sem
 		}(task)

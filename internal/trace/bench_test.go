@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the disabled fast path: one atomic
+// load + nil check per Start, nil-receiver no-ops for everything else.
+// This is the "measurably free" half of the tracing-overhead gate.
+func BenchmarkSpanDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench.unit")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled measures the armed cost of a full
+// start/annotate/end cycle into the sharded collector + histogram.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(1024)
+	Enable(tr)
+	defer Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench.unit")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden trace files")
+
+// buildDeterministicTrace emits a small fixed span tree under a fake
+// clock: two "points" each with two stages, one detached sync, one
+// hung stage — every outcome and nesting shape the exporter must
+// render. Ids and timestamps are fully deterministic.
+func buildDeterministicTrace() *Tracer {
+	tr := New(0)
+	clk := &fakeClock{step: time.Millisecond}
+	tr.SetClock(clk.now)
+	Enable(tr)
+	defer Disable()
+
+	ctx, run := Start(context.Background(), "campaign.run")
+	run.SetInt("points", 2)
+	for i := 0; i < 2; i++ {
+		pctx, pt := Start(ctx, "campaign.point")
+		pt.SetInt("index", int64(i))
+		_, syn := Start(pctx, "flow.synth")
+		syn.End()
+		_, rt := Start(pctx, "flow.droute")
+		if i == 1 {
+			rt.EndWith(Hung)
+			pt.EndWith(Retry)
+		} else {
+			rt.End()
+			pt.EndWith(CacheHit)
+		}
+	}
+	sync := Begin("journal.sync")
+	sync.End()
+	run.End()
+	return tr
+}
+
+// TestChromeTraceGolden pins the exact exporter output for a
+// deterministic span tree. Regenerate with:
+//
+//	go test ./internal/trace -run TestChromeTraceGolden -update-golden
+func TestChromeTraceGolden(t *testing.T) {
+	tr := buildDeterministicTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exported trace differs from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceValid decodes the export as JSON and checks the
+// trace_event contract: complete events, µs units, children inside
+// their parent's time range and on their root's lane.
+func TestChromeTraceValid(t *testing.T) {
+	tr := buildDeterministicTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(out.TraceEvents))
+	}
+	spans, _ := tr.Snapshot()
+	lanes := map[uint64]bool{}
+	for i, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d: phase %q, want complete event X", i, ev.Ph)
+		}
+		if ev.Pid != 1 || ev.Tid == 0 {
+			t.Fatalf("event %d: pid=%d tid=%d", i, ev.Pid, ev.Tid)
+		}
+		if ev.Args["outcome"] == "" {
+			t.Fatalf("event %d: missing outcome arg", i)
+		}
+		if ev.Cat != category(ev.Name) {
+			t.Fatalf("event %d: cat %q for %q", i, ev.Cat, ev.Name)
+		}
+		// Events are exported sorted by start.
+		if ev.Ts != float64(spans[i].Start.Nanoseconds())/1e3 {
+			t.Fatalf("event %d: ts %v, span start %v", i, ev.Ts, spans[i].Start)
+		}
+		lanes[ev.Tid] = true
+	}
+	// campaign.run + its children share one lane; journal.sync is its
+	// own root lane.
+	if len(lanes) != 2 {
+		t.Fatalf("got %d lanes, want 2", len(lanes))
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of a latency histogram: bucket k
+// holds durations in [2^(k-1), 2^k) microseconds (bucket 0 is < 1 µs),
+// so 48 buckets span sub-microsecond to ~8.9 years — log-spaced, fixed
+// memory, one atomic add per observation.
+const histBuckets = 48
+
+// Hist is one log-bucketed latency histogram. Observations are a
+// single atomic increment; snapshots are lock-free reads, so a
+// /debug/hist scrape never stalls the campaign writing to it.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for <1µs, k for [2^(k-1), 2^k) µs
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperUs returns the exclusive upper bound of bucket b in
+// microseconds.
+func bucketUpperUs(b int) float64 {
+	return float64(uint64(1) << uint(b))
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	for {
+		cur := h.maxNs.Load()
+		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time summary of one histogram. Quantiles
+// are bucket upper bounds (a conservative estimate: the true quantile
+// is at most the reported value, within one power of two).
+type HistSnapshot struct {
+	Name   string
+	Count  int64
+	MeanUs float64
+	P50Us  float64
+	P90Us  float64
+	P99Us  float64
+	MaxUs  float64
+	// Buckets holds the non-empty buckets as (upper bound µs, count)
+	// pairs, for callers that want the full shape.
+	Buckets []HistBucket
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	UpperUs float64
+	Count   int64
+}
+
+// Snapshot summarizes the histogram. Writers may race with the reads —
+// each bucket is read atomically, so counts are never torn, merely up
+// to one observation apart between buckets.
+func (h *Hist) Snapshot(name string) HistSnapshot {
+	s := HistSnapshot{Name: name}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		s.Count += counts[i]
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanUs = float64(h.sumNs.Load()) / float64(s.Count) / 1e3
+	s.MaxUs = float64(h.maxNs.Load()) / 1e3
+	quantile := func(q float64) float64 {
+		target := int64(q*float64(s.Count-1)) + 1
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				return bucketUpperUs(i)
+			}
+		}
+		return bucketUpperUs(histBuckets - 1)
+	}
+	s.P50Us = quantile(0.50)
+	s.P90Us = quantile(0.90)
+	s.P99Us = quantile(0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperUs: bucketUpperUs(i), Count: c})
+		}
+	}
+	return s
+}
+
+// HistSet is a registry of histograms keyed by span name, with the same
+// read-mostly locking idiom as metrics.Counters.
+type HistSet struct {
+	mu sync.RWMutex
+	m  map[string]*Hist
+}
+
+// NewHistSet creates an empty registry.
+func NewHistSet() *HistSet { return &HistSet{m: map[string]*Hist{}} }
+
+// Hist returns the named histogram, registering it on first use.
+func (s *HistSet) Hist(name string) *Hist {
+	s.mu.RLock()
+	h, ok := s.m[name]
+	s.mu.RUnlock()
+	if ok {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok = s.m[name]; !ok {
+		h = &Hist{}
+		s.m[name] = h
+	}
+	return h
+}
+
+// Observe records one duration into the named histogram.
+func (s *HistSet) Observe(name string, d time.Duration) { s.Hist(name).Observe(d) }
+
+// Snapshots summarizes every histogram, sorted by name.
+func (s *HistSet) Snapshots() []HistSnapshot {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.m))
+	for k := range s.m {
+		names = append(names, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]HistSnapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.Hist(n).Snapshot(n))
+	}
+	return out
+}
+
+// Write renders one "name count=N mean_us=X p50_us=X p90_us=X p99_us=X
+// max_us=X" line per histogram, sorted by name — the /debug/hist and
+// /metrics exposition format.
+func (s *HistSet) Write(w io.Writer) {
+	for _, snap := range s.Snapshots() {
+		fmt.Fprintf(w, "%s count=%d mean_us=%.1f p50_us=%g p90_us=%g p99_us=%g max_us=%.1f\n",
+			snap.Name, snap.Count, snap.MeanUs, snap.P50Us, snap.P90Us, snap.P99Us, snap.MaxUs)
+	}
+}

@@ -16,6 +16,12 @@
 #                             points and resumed at worker counts 1 and
 #                             8 must reproduce the uninterrupted output
 #                             byte-for-byte
+#   scripts/check.sh trace    observability demo gate: run a real traced
+#                             sweep end to end and validate the Chrome
+#                             trace_event JSON with cmd/tracecheck — it
+#                             must be non-empty, well-formed, and cover
+#                             campaign points, flow stages, and route
+#                             iterations (this is `make trace-demo`)
 #
 # BENCH_*.json files are written atomically (temp + rename), so a gate
 # failure or a kill mid-write never leaves a torn or half-updated file.
@@ -27,41 +33,71 @@
 # identical workloads, emitting machine-readable lines:
 #
 #   campaign_speedup_x=<serial ns/op divided by parallel ns/op>
+#   trace_overhead_pct=<traced vs untraced parallel campaign, percent>
 #   sta_recover_speedup_x=<full ns/op divided by incremental ns/op>
 #
 # The sta pair is gated: the incremental engine must be >= 10x faster at
-# pulpino-proxy scale AND land on the identical final area/WNS.
+# pulpino-proxy scale AND land on the identical final area/WNS. The
+# tracing pair is gated too: BenchmarkCampaignTraced (tracer armed, every
+# point/stage/iteration emitting spans) may be at most 5% slower than the
+# untraced BenchmarkCampaignParallel — best-of-5 at a fixed benchtime,
+# because full observability must stay in the noise. (Tracing *off* costs
+# one nil-check per span site; BenchmarkSpanDisabled in internal/trace
+# pins that at ~3ns and 0 allocs.)
 set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 # Concurrency tier: the license pool and campaign engine carry the
-# cancellation/retry machinery every experiment fans out on; run their
-# race tests twice (fresh caches each time) before the full suite.
-go test -race -count=2 ./internal/sched/... ./internal/campaign/...
+# cancellation/retry machinery every experiment fans out on, and the
+# tracer/metrics server are written to by every one of those goroutines
+# at once; run their race tests twice (fresh caches each time) before
+# the full suite.
+go test -race -count=2 ./internal/sched/... ./internal/campaign/... \
+    ./internal/trace/... ./internal/metrics/...
 go test -race ./...
 
 if [ "${1:-}" = "bench" ]; then
     out=$(go test -run=NONE -bench='BenchmarkCampaign(Serial|Parallel)$' -benchtime=3x .)
     echo "$out"
-    echo "$out" | awk '
-        /BenchmarkCampaignSerial/   { serial = $3 }
-        /BenchmarkCampaignParallel/ { parallel = $3
+    # Tracing overhead pair: a longer fixed benchtime and best-of-5 so
+    # the 5% gate measures tracing, not scheduler noise (real overhead
+    # is ~1%; single runs on a loaded machine can drift by more).
+    tout=$(go test -run=NONE -bench='BenchmarkCampaign(Parallel|Traced)$' -benchtime=1s -count=5 .)
+    echo "$tout"
+    { echo "$out"; echo "===TRACED==="; echo "$tout"; } | awk '
+        /^===TRACED===$/ { traced_section = 1; next }
+        !traced_section && /BenchmarkCampaignSerial/   { serial = $3 }
+        !traced_section && /BenchmarkCampaignParallel/ { parallel = $3
             for (i = 1; i <= NF; i++) {
                 if ($i == "cache_hit_rate") hit = $(i-1)
                 if ($i == "qor_area_sum")   qor = $(i-1)
             }
         }
+        traced_section && /BenchmarkCampaignParallel/ {
+            if (pmin == "" || $3 + 0 < pmin) pmin = $3 + 0
+        }
+        traced_section && /BenchmarkCampaignTraced/ {
+            if (tmin == "" || $3 + 0 < tmin) tmin = $3 + 0
+            for (i = 1; i <= NF; i++) if ($i == "spans") spans = $(i-1)
+        }
         END {
-            if (serial == "" || parallel == "" || parallel == 0) {
+            if (serial == "" || parallel == "" || parallel == 0 ||
+                pmin == "" || tmin == "" || pmin == 0) {
                 print "check.sh: could not parse benchmark output" > "/dev/stderr"
                 exit 1
             }
             speedup = serial / parallel
+            overhead = (tmin / pmin - 1) * 100
             printf "campaign_speedup_x=%.2f\n", speedup
-            printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s}\n", \
-                serial, parallel, speedup, hit, qor > "BENCH_campaign.json.tmp"
+            printf "trace_overhead_pct=%.2f\n", overhead
+            printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s,\"traced_ns_per_op\":%.0f,\"trace_overhead_pct\":%.2f,\"spans_per_op\":%s}\n", \
+                serial, parallel, speedup, hit, qor, tmin, overhead, spans > "BENCH_campaign.json.tmp"
+            if (overhead > 5) {
+                printf "check.sh: tracing overhead %.2f%% above 5%% gate\n", overhead > "/dev/stderr"
+                exit 1
+            }
         }'
     mv BENCH_campaign.json.tmp BENCH_campaign.json
 
@@ -205,4 +241,17 @@ if [ "${1:-}" = "crash" ]; then
         echo "check.sh: no mid-flight journal captured for worker sweep (machine too fast/slow?)" >&2
     fi
     echo "crash_soak=ok"
+fi
+
+if [ "${1:-}" = "trace" ]; then
+    # Observability demo gate: a real traced sweep must produce a
+    # non-empty, well-formed Chrome trace covering the whole stack.
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    go run ./cmd/sprflow -design tiny -sweep 2 -parallel 2 \
+        -trace "$work/trace.json" > /dev/null
+    go run ./cmd/tracecheck \
+        -require 'campaign.run,campaign.point,flow.run,flow.synth,flow.droute,route.iter,sched.wait' \
+        "$work/trace.json"
+    echo "trace_demo=ok"
 fi
