@@ -47,6 +47,9 @@ func run() int {
 	journalDir := flag.String("journal", "", "durable journal directory for -sweep (enables checkpoint/resume)")
 	resume := flag.Bool("resume", false, "resume a killed -sweep from its -journal (same flags required)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
+	placeWorkers := flag.Int("place-workers", 0, "speculative parallel annealer workers (0 = serial placer; results identical at any count >= 1)")
+	routeTiles := flag.Int("route-tiles", 0, "region-sharded global router tiles per side (0/1 = serial router)")
+	routeWorkers := flag.Int("route-workers", 0, "concurrent regions for -route-tiles (0 = all; results identical at any setting)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (view in chrome://tracing or Perfetto)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics and /debug endpoints on this address (e.g. :8080)")
 	flag.Parse()
@@ -78,15 +81,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal DIR")
 		return 2
 	}
+	kernels := repro.FlowOptions{
+		SynthEffort:  *effort,
+		PlaceWorkers: *placeWorkers,
+		RouteTiles:   *routeTiles,
+		RouteWorkers: *routeWorkers,
+	}
 	if *sweep > 0 {
-		return runSweep(d, *freq, *seed, *effort, *sweep, *parallel, *journalDir, *stageTimeout)
+		return runSweep(d, *freq, *seed, kernels, *sweep, *parallel, *journalDir, *stageTimeout)
 	}
 
 	stats := d.ComputeStats()
 	fmt.Printf("design %s: %d cells, %d registers, %d nets, depth %d\n",
 		d.Name, stats.Cells, stats.Registers, stats.Nets, stats.MaxLevel)
 
-	opts := repro.FlowOptions{TargetFreqGHz: *freq, Seed: *seed, SynthEffort: *effort}
+	opts := kernels
+	opts.TargetFreqGHz = *freq
+	opts.Seed = *seed
 	if *robot {
 		out := (repro.Robot{Design: d, Base: opts}).Execute()
 		fmt.Printf("robot: %d attempts, succeeded=%t, runtime proxy %.1f\n",
@@ -126,7 +137,7 @@ func run() int {
 // order — a stable byte stream — while journal/resume accounting goes
 // to stderr, so `diff` between a resumed and an uninterrupted sweep
 // compares only results.
-func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, parallel int, journalDir string, stageTimeout time.Duration) int {
+func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOptions, nSeeds, parallel int, journalDir string, stageTimeout time.Duration) int {
 	freqs := []float64{0.8 * baseFreq, baseFreq, 1.2 * baseFreq}
 	seeds := make([]int64, nSeeds)
 	for i := range seeds {
@@ -134,7 +145,7 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, effort, nSeeds, par
 	}
 	res, err := repro.Sweep(repro.SweepConfig{
 		Design:       d,
-		Base:         repro.FlowOptions{SynthEffort: effort},
+		Base:         base,
 		Freqs:        freqs,
 		Seeds:        seeds,
 		Workers:      parallel,

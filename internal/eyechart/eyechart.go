@@ -63,6 +63,7 @@ func Chain(lib *cellib.Library, stages int, loadFF, targetPs float64) *Chart {
 	for i := range n.Insts {
 		n.Insts[i].X, n.Insts[i].Y = 0, 0
 	}
+	n.InvalidatePlacement()
 
 	ch.solve()
 	return ch

@@ -42,6 +42,19 @@ type Options struct {
 	RouteIters    int     // detailed-routing iteration budget (default 20)
 	DeratePct     float64 // signoff guardband
 
+	// PlaceWorkers > 0 selects the speculative parallel annealer for the
+	// placement stage (place.Options.Workers); 0 keeps the historical
+	// serial engine and its bit-exact results. Part of the cache key:
+	// the engines produce different (equally valid) placements.
+	PlaceWorkers int
+	// RouteTiles > 1 selects the region-sharded parallel global router
+	// (route.GlobalOptions.Tiles); 0/1 keeps the serial net order.
+	RouteTiles int
+	// RouteWorkers caps concurrent region routing when RouteTiles > 1
+	// (default: all regions in flight). Not part of the cache key —
+	// sharded results are identical at every worker count.
+	RouteWorkers int
+
 	// StopRouteAfter truncates detailed routing (set by doomed-run
 	// policies; 0 = run to completion).
 	StopRouteAfter int
@@ -257,6 +270,15 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 		}()
 	}
 	res = &Result{Options: opts}
+	// The returned netlist must be value-identical to its serialized
+	// round-trip (campaign journals replay results and compare them to
+	// recomputed ones), so drop any in-memory placement cache the run's
+	// kernels left behind before handing the result out.
+	defer func() {
+		if res != nil && res.Netlist != nil {
+			res.Netlist.InvalidatePlacement()
+		}
+	}()
 	obs := rc.Observer
 	emit := func(step string, metrics map[string]float64, series []float64) {
 		if obs != nil {
@@ -353,6 +375,7 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 			Moves:       opts.PlaceMoves * n.NumCells(),
 			Utilization: opts.Utilization,
 			Partitions:  opts.Partitions,
+			Workers:     opts.PlaceWorkers,
 		})
 	}, func() {
 		res.Place = pl
@@ -388,6 +411,8 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 		gr = route.GlobalRoute(n, route.GlobalOptions{
 			Seed:          subSeed(opts.Seed, 4),
 			TracksPerEdge: opts.TracksPerEdge,
+			Tiles:         opts.RouteTiles,
+			Workers:       opts.RouteWorkers,
 		})
 	}, func() {
 		res.Global = gr

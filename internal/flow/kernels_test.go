@@ -1,0 +1,49 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelKernelsWorkerInvariant: a flow run with the parallel
+// kernels enabled must be bit-identical at every worker count —
+// PlaceWorkers selects the speculative annealer (whose outcome depends
+// only on seed and batch, not crew size) and RouteWorkers only caps
+// region concurrency. Identical structs under reflect.DeepEqual is the
+// same bar the campaign journal holds replayed results to.
+func TestParallelKernelsWorkerInvariant(t *testing.T) {
+	d := tiny(41)
+	base := Options{TargetFreqGHz: 0.4, Seed: 7, PlaceWorkers: 1, RouteTiles: 2, RouteWorkers: 1}
+	ref := Run(d, base)
+	for _, w := range []int{2, 4, 8} {
+		o := base
+		o.PlaceWorkers = w
+		o.RouteWorkers = w
+		got := Run(d, o)
+		// The options differ by construction; everything downstream of
+		// them must not.
+		got.Options, ref.Options = Options{}, Options{}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: flow result diverged from workers=1 reference", w)
+		}
+	}
+}
+
+// TestParallelKernelsChangeResults: turning the parallel kernels on is
+// an explicit opt-in precisely because they walk different (equally
+// valid) trajectories than the serial kernels — the flow must reflect
+// that, not silently alias the two.
+func TestParallelKernelsChangeResults(t *testing.T) {
+	d := tiny(42)
+	serial := Run(d, Options{TargetFreqGHz: 0.4, Seed: 3})
+	par := Run(d, Options{TargetFreqGHz: 0.4, Seed: 3, PlaceWorkers: 4, RouteTiles: 2})
+	if serial.Place.HPWLUm == par.Place.HPWLUm {
+		t.Error("speculative annealer produced the serial placement (suspicious aliasing)")
+	}
+	if !par.RouteOK && serial.RouteOK {
+		t.Error("parallel kernels broke routing on a design the serial flow routes")
+	}
+	if par.RuntimeProxy <= 0 || par.Place.HPWLUm <= 0 {
+		t.Fatal("parallel flow produced empty results")
+	}
+}

@@ -12,11 +12,14 @@ import (
 // hash(design, Options) -> *Result.
 func (o Options) Key() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d rec=%t rm=%g",
+	// RouteWorkers is deliberately absent: the sharded router's result
+	// is identical at every worker count, so it is not a QOR knob.
+	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d rec=%t rm=%g pw=%d rt=%d",
 		o.TargetFreqGHz, o.Seed,
 		o.SynthEffort, o.MaxFanout, o.Utilization, o.PlaceMoves,
 		o.Partitions, o.TracksPerEdge, o.RouteEffort, o.RouteIters,
-		o.DeratePct, o.StopRouteAfter, o.RecoverArea, o.RecoverMarginPs)
+		o.DeratePct, o.StopRouteAfter, o.RecoverArea, o.RecoverMarginPs,
+		o.PlaceWorkers, o.RouteTiles)
 }
 
 // Hash returns the FNV-1a hash of Key, for shard selection and compact

@@ -36,6 +36,16 @@ func TestKeyDistinguishesEveryField(t *testing.T) {
 	add("stop_after", func(o *Options) { o.StopRouteAfter = 5 })
 	add("recover", func(o *Options) { o.RecoverArea = true })
 	add("recover_margin", func(o *Options) { o.RecoverMarginPs = 12 })
+	add("place_workers", func(o *Options) { o.PlaceWorkers = 4 })
+	add("route_tiles", func(o *Options) { o.RouteTiles = 4 })
+
+	// RouteWorkers must NOT change the key: the sharded router commits
+	// identical results at every worker count.
+	rw := base
+	rw.RouteWorkers = 8
+	if rw.Key() != base.Key() {
+		t.Errorf("RouteWorkers changed the key: %q vs %q", rw.Key(), base.Key())
+	}
 
 	seen := map[string]string{base.Key(): "base"}
 	for name, o := range variants {

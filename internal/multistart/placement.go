@@ -182,4 +182,5 @@ func (p *PlacementProblem) Apply(s any) {
 		p.n.Insts[cell].X = p.slotsX[slot]
 		p.n.Insts[cell].Y = p.slotsY[slot]
 	}
+	p.n.InvalidatePlacement()
 }

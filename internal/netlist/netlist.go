@@ -60,6 +60,12 @@ type Netlist struct {
 
 	ClockNet      int // net ID of the clock, or -1
 	ClockPeriodPs float64
+
+	// Cached placement extent (see PlacedExtent). Unexported so Clone
+	// drops it; guarded by extentCells against instance insertion.
+	extentValid      bool
+	extentCells      int
+	extentX, extentY float64
 }
 
 // NumCells returns the number of instances.
@@ -541,6 +547,7 @@ func Generate(lib *cellib.Library, spec Spec) *Netlist {
 // SpreadInitial assigns a deterministic initial placement: instances in
 // level-major order, row by row, on a die sized for ~60% utilization.
 func SpreadInitial(n *Netlist) {
+	n.InvalidatePlacement()
 	w, h := DieSize(n, 0.6)
 	order := n.TopoOrder()
 	cols := int(math.Ceil(math.Sqrt(float64(len(order)))))
@@ -567,9 +574,3 @@ func DieSize(n *Netlist, utilization float64) (w, h float64) {
 	return side, side
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,144 @@
+// Flat (structure-of-arrays) views of the netlist connectivity, built
+// once and scanned by the hot loops of the physical-design kernels.
+// The annealing placer evaluates millions of move deltas per run; the
+// nested-slice incidence it used to build per call ([][]int plus a
+// per-instance dedupe map) cost an allocation per instance and a
+// pointer chase per access. These CSR-style index+offset pairs are the
+// same data flattened into two arrays each.
+package netlist
+
+// Incidence is a CSR-style instance -> nets index: the (deduplicated)
+// non-clock nets touching each instance, in ascending net order.
+type Incidence struct {
+	Off  []int32 // len NumCells+1; nets of inst i are Nets[Off[i]:Off[i+1]]
+	Nets []int32
+}
+
+// Of returns the nets incident to inst.
+func (inc Incidence) Of(inst int) []int32 {
+	return inc.Nets[inc.Off[inst]:inc.Off[inst+1]]
+}
+
+// BuildIncidence constructs the instance -> nets CSR index. Clock nets
+// are excluded (the placer's cost function ignores them). Deduplication
+// uses a stamp array, so the build allocates exactly three slices no
+// matter how many instances the design has.
+func (n *Netlist) BuildIncidence() Incidence {
+	stamp := make([]int32, n.NumCells())
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	counts := make([]int32, n.NumCells()+1)
+	visit := func(netID int, inst int, f func(inst int)) {
+		if stamp[inst] != int32(netID) {
+			stamp[inst] = int32(netID)
+			f(inst)
+		}
+	}
+	forEachPin := func(netID int, f func(inst int)) {
+		net := &n.Nets[netID]
+		if net.IsClock {
+			return
+		}
+		if net.Driver >= 0 {
+			visit(netID, net.Driver, f)
+		}
+		for _, s := range net.Sinks {
+			visit(netID, s.Inst, f)
+		}
+	}
+	for i := range n.Nets {
+		forEachPin(i, func(inst int) { counts[inst+1]++ })
+	}
+	inc := Incidence{Off: counts}
+	for i := 1; i < len(inc.Off); i++ {
+		inc.Off[i] += inc.Off[i-1]
+	}
+	inc.Nets = make([]int32, inc.Off[n.NumCells()])
+	next := make([]int32, n.NumCells())
+	copy(next, inc.Off[:n.NumCells()])
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for i := range n.Nets {
+		forEachPin(i, func(inst int) {
+			inc.Nets[next[inst]] = int32(i)
+			next[inst]++
+		})
+	}
+	return inc
+}
+
+// NetPins is a CSR-style net -> pin-instances index: for each net, the
+// driver (when present) followed by the sink instances, duplicates
+// preserved, in the same order Netlist.HPWL visits them.
+type NetPins struct {
+	Off  []int32 // len NumNets+1; pins of net i are Inst[Off[i]:Off[i+1]]
+	Inst []int32
+}
+
+// Of returns the pin instances of net id.
+func (np NetPins) Of(netID int) []int32 {
+	return np.Inst[np.Off[netID]:np.Off[netID+1]]
+}
+
+// BuildNetPins constructs the net -> pin-instances CSR index.
+func (n *Netlist) BuildNetPins() NetPins {
+	np := NetPins{Off: make([]int32, len(n.Nets)+1)}
+	for i := range n.Nets {
+		cnt := len(n.Nets[i].Sinks)
+		if n.Nets[i].Driver >= 0 {
+			cnt++
+		}
+		np.Off[i+1] = np.Off[i] + int32(cnt)
+	}
+	np.Inst = make([]int32, np.Off[len(n.Nets)])
+	pos := 0
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.Driver >= 0 {
+			np.Inst[pos] = int32(net.Driver)
+			pos++
+		}
+		for _, s := range net.Sinks {
+			np.Inst[pos] = int32(s.Inst)
+			pos++
+		}
+	}
+	return np
+}
+
+// PlacedExtent returns the maximum instance X and Y of the current
+// placement, caching the scan until InvalidatePlacement is called (or
+// the instance count changes). The global router used to rescan every
+// instance per call; campaign benches route the same placement many
+// times, so the scan is hoisted here. Not safe for concurrent first
+// call on a shared netlist — like every other mutating accessor.
+func (n *Netlist) PlacedExtent() (maxX, maxY float64) {
+	if n.extentValid && n.extentCells == len(n.Insts) {
+		return n.extentX, n.extentY
+	}
+	for i := range n.Insts {
+		if n.Insts[i].X > maxX {
+			maxX = n.Insts[i].X
+		}
+		if n.Insts[i].Y > maxY {
+			maxY = n.Insts[i].Y
+		}
+	}
+	n.extentValid, n.extentCells = true, len(n.Insts)
+	n.extentX, n.extentY = maxX, maxY
+	return maxX, maxY
+}
+
+// InvalidatePlacement drops the cached placement extent. Every code
+// path that writes instance coordinates must call it (Clone drops the
+// cache implicitly). All cache fields are zeroed — not just the valid
+// bit — so an invalidated netlist is value-identical to one that never
+// cached (campaign journals compare replayed results to recomputed
+// ones with reflect.DeepEqual).
+func (n *Netlist) InvalidatePlacement() {
+	n.extentValid = false
+	n.extentCells = 0
+	n.extentX, n.extentY = 0, 0
+}

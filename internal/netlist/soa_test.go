@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cellib"
+)
+
+// naiveIncidence reproduces the nested-slice incidence the placer used
+// to build inline: nets touching each instance, deduped, first-seen
+// (ascending net) order, clock excluded.
+func naiveIncidence(n *Netlist) [][]int {
+	netsOf := make([][]int, n.NumCells())
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.IsClock {
+			continue
+		}
+		if net.Driver >= 0 {
+			netsOf[net.Driver] = append(netsOf[net.Driver], i)
+		}
+		for _, s := range net.Sinks {
+			netsOf[s.Inst] = append(netsOf[s.Inst], i)
+		}
+	}
+	for i := range netsOf {
+		seen := map[int]struct{}{}
+		out := netsOf[i][:0]
+		for _, x := range netsOf[i] {
+			if _, ok := seen[x]; !ok {
+				seen[x] = struct{}{}
+				out = append(out, x)
+			}
+		}
+		netsOf[i] = out
+	}
+	return netsOf
+}
+
+func TestBuildIncidenceMatchesNaive(t *testing.T) {
+	for _, spec := range []Spec{Tiny(1), Artificial(2), PulpinoProxy(3)} {
+		n := Generate(cellib.Default14nm(), spec)
+		want := naiveIncidence(n)
+		inc := n.BuildIncidence()
+		for inst := 0; inst < n.NumCells(); inst++ {
+			got := inc.Of(inst)
+			if len(got) != len(want[inst]) {
+				t.Fatalf("%s inst %d: %d nets, want %d", spec.Name, inst, len(got), len(want[inst]))
+			}
+			for k := range got {
+				if int(got[k]) != want[inst][k] {
+					t.Fatalf("%s inst %d net %d: %d, want %d", spec.Name, inst, k, got[k], want[inst][k])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildNetPinsMatchesHPWLOrder(t *testing.T) {
+	n := Generate(cellib.Default14nm(), Tiny(4))
+	np := n.BuildNetPins()
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		var want []int32
+		if net.Driver >= 0 {
+			want = append(want, int32(net.Driver))
+		}
+		for _, s := range net.Sinks {
+			want = append(want, int32(s.Inst))
+		}
+		got := np.Of(i)
+		if len(got) != len(want) {
+			t.Fatalf("net %d: %d pins, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("net %d pin %d: %d, want %d", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func scanExtent(n *Netlist) (x, y float64) {
+	for i := range n.Insts {
+		if n.Insts[i].X > x {
+			x = n.Insts[i].X
+		}
+		if n.Insts[i].Y > y {
+			y = n.Insts[i].Y
+		}
+	}
+	return x, y
+}
+
+func TestPlacedExtentCacheTracksWriters(t *testing.T) {
+	n := Generate(cellib.Default14nm(), Tiny(5))
+	check := func(stage string) {
+		t.Helper()
+		wx, wy := scanExtent(n)
+		gx, gy := n.PlacedExtent()
+		if gx != wx || gy != wy {
+			t.Fatalf("%s: cached extent (%v,%v) != scan (%v,%v)", stage, gx, gy, wx, wy)
+		}
+	}
+	check("generated")
+
+	// Mutation through a writer must invalidate.
+	n.Insts[0].X = 1e6
+	n.InvalidatePlacement()
+	check("manual write + invalidate")
+
+	// SpreadInitial invalidates itself.
+	SpreadInitial(n)
+	check("spread")
+
+	// Instance insertion is caught by the cell-count guard even without
+	// an explicit invalidate.
+	n.PlacedExtent()
+	id := n.AddInstance(n.Lib.Smallest(cellib.Inverter), "")
+	n.Insts[id].X, n.Insts[id].Y = 2e6, 3e6
+	check("insert")
+
+	// Clone drops the cache.
+	c := n.Clone()
+	c.Insts[0].X = 9e6
+	check("original after clone")
+	cx, _ := c.PlacedExtent()
+	if cx != 9e6 {
+		t.Fatalf("clone extent %v, want 9e6", cx)
+	}
+}

@@ -1,0 +1,174 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Proposal kinds assigned at generation time.
+const (
+	kindEval uint8 = iota // evaluate and maybe commit
+	kindSkip              // self-move or discarded region-crossing: burns a cooling step
+)
+
+// annealSpeculative is the parallel engine: speculative move evaluation
+// with deterministic commit.
+//
+// Each epoch draws a batch of proposals sequentially from the master
+// random stream, evaluates their deltas concurrently against the frozen
+// epoch state (evalDelta is pure; every worker owns its scratch), then
+// commits in proposal order. A proposal whose instances, slots or nets
+// overlap an earlier commit of the same epoch has a stale delta and is
+// discarded as a conflict — it burns its cooling step but consumes no
+// acceptance coin, so the outcome is a pure function of Seed, Moves and
+// Batch, bit-identical at every Workers >= 1 and GOMAXPROCS.
+func (p *placer) annealSpeculative(rng *rand.Rand) {
+	temp, cool := p.schedule(rng)
+	numCells := p.n.NumCells()
+	numSlots := len(p.g.instAt)
+	numNets := len(p.n.Nets)
+	batch := p.opts.Batch
+
+	gang := sched.NewGang(p.opts.Workers)
+	defer gang.Close()
+	pool := sync.Pool{New: func() any {
+		sc := newEvalScratch(numNets)
+		return &sc
+	}}
+
+	insts := make([]int32, batch)
+	slots := make([]int32, batch)
+	kinds := make([]uint8, batch)
+	deltas := make([]float64, batch)
+	costs := make([]int32, batch)
+
+	// Epoch-stamped conflict sets: anything a committed swap touched.
+	instStamp := make([]int32, numCells)
+	slotStamp := make([]int32, numSlots)
+	netStamp := make([]int32, numNets)
+	var epoch int32
+
+	coarseMoves := 0
+	if p.opts.Partitions > 1 {
+		coarseMoves = p.opts.Moves / 4
+	}
+
+	for m := 0; m < p.opts.Moves; {
+		if p.opts.Partitions > 1 && !p.partitioned && m >= coarseMoves {
+			p.assignPartitions()
+		}
+		b := min(batch, p.opts.Moves-m)
+		if p.opts.Partitions > 1 && !p.partitioned {
+			// Epochs never straddle the coarse->partitioned switch.
+			b = min(b, coarseMoves-m)
+		}
+
+		// Propose: sequential draws from the master stream, classified
+		// against the epoch-start state.
+		for k := 0; k < b; k++ {
+			inst := rng.Intn(numCells)
+			slot := rng.Intn(numSlots)
+			kind := kindEval
+			if slot == p.g.slotOf[inst] {
+				kind = kindSkip
+			} else if p.partitioned && p.regionOfSlot(slot) != p.part[inst] {
+				if p.opts.ResampleCrossRegion {
+					cand := p.regionSlots[p.part[inst]]
+					slot = cand[rng.Intn(len(cand))]
+					p.res.MovesResampled++
+					if slot == p.g.slotOf[inst] {
+						kind = kindSkip
+					}
+				} else {
+					kind = kindSkip
+				}
+			}
+			insts[k], slots[k], kinds[k] = int32(inst), int32(slot), kind
+		}
+
+		// Evaluate: concurrent, pure, against the frozen epoch state.
+		sp := trace.Begin("place.move")
+		gang.Round(b, func(lo, hi int) {
+			sc := pool.Get().(*evalScratch)
+			for k := lo; k < hi; k++ {
+				if kinds[k] != kindEval {
+					continue
+				}
+				d, c := p.evalDelta(int(insts[k]), int(slots[k]), sc)
+				deltas[k], costs[k] = d, int32(c)
+			}
+			pool.Put(sc)
+		})
+
+		// Commit: canonical proposal order, conflicts discarded.
+		epoch++
+		committed := 0
+		for k := 0; k < b; k++ {
+			if kinds[k] == kindSkip {
+				temp *= cool
+				continue
+			}
+			inst, slot := int(insts[k]), int(slots[k])
+			if p.conflicts(inst, slot, instStamp, slotStamp, netStamp, epoch) {
+				p.res.MovesConflicted++
+				temp *= cool
+				continue
+			}
+			p.res.MovesTried++
+			p.res.RuntimeProxy += int(costs[k])
+			if delta := deltas[k]; delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				other := p.g.instAt[slot]
+				oldSlot := p.g.slotOf[inst]
+				p.commitSwap(inst, slot)
+				p.res.MovesAccepted++
+				committed++
+				instStamp[inst] = epoch
+				if other >= 0 {
+					instStamp[other] = epoch
+				}
+				slotStamp[slot] = epoch
+				slotStamp[oldSlot] = epoch
+				for _, nid := range p.commit.affected {
+					netStamp[nid] = epoch
+				}
+			}
+			temp *= cool
+		}
+		sp.SetInt("batch", int64(b))
+		sp.SetInt("committed", int64(committed))
+		sp.SetInt("conflicts", int64(p.res.MovesConflicted))
+		sp.End()
+		m += b
+	}
+}
+
+// conflicts reports whether an earlier commit of the current epoch
+// touched anything this proposal's delta depends on: either endpoint
+// instance, either slot, or any net incident to the endpoints. If none
+// did, the speculative delta is still exact.
+func (p *placer) conflicts(inst, slot int, instStamp, slotStamp, netStamp []int32, epoch int32) bool {
+	if instStamp[inst] == epoch || slotStamp[slot] == epoch || slotStamp[p.g.slotOf[inst]] == epoch {
+		return true
+	}
+	other := p.g.instAt[slot]
+	if other >= 0 && instStamp[other] == epoch {
+		return true
+	}
+	for _, nid := range p.inc.Of(inst) {
+		if netStamp[nid] == epoch {
+			return true
+		}
+	}
+	if other >= 0 && other != inst {
+		for _, nid := range p.inc.Of(other) {
+			if netStamp[nid] == epoch {
+				return true
+			}
+		}
+	}
+	return false
+}

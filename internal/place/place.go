@@ -6,6 +6,20 @@
 // "big valley" structure that adaptive multistart (Fig. 6(b)) and
 // go-with-the-winners (Fig. 6(a)) exploit. A partitioned mode supports
 // the "many more small subproblems" ablation of Fig. 4(b).
+//
+// Two annealing engines share one move evaluator:
+//
+//   - the serial engine (Workers == 0) commits after every proposal and
+//     reproduces the historical serial placer bit for bit;
+//   - the speculative parallel engine (Workers > 0, see parallel.go)
+//     evaluates batches of proposals concurrently and commits them in
+//     proposal order with conflict detection, producing results that
+//     depend only on Seed/Moves/Batch — never on Workers or scheduling.
+//
+// The evaluator itself is built on flat structure-of-arrays state:
+// per-net bounding boxes cached and maintained incrementally, CSR
+// incidence (netlist.Incidence / netlist.NetPins) instead of nested
+// slices, and stamp arrays instead of per-move map allocation.
 package place
 
 import (
@@ -13,6 +27,7 @@ import (
 	"math/rand"
 
 	"repro/internal/netlist"
+	"repro/internal/num"
 )
 
 // Options are the placer knobs.
@@ -23,6 +38,22 @@ type Options struct {
 	Partitions  int     // 1 = flat; k means k x k independent regions
 	// StartTemp overrides the sampled initial temperature (0 = auto).
 	StartTemp float64
+	// Workers > 0 selects the speculative parallel annealer: proposals
+	// are drawn in batches from the master stream, evaluated concurrently
+	// against the epoch snapshot, and committed in proposal order with
+	// conflict detection. The outcome depends only on Seed, Moves and
+	// Batch — identical at every Workers >= 1 — but differs from the
+	// Workers == 0 serial engine, which commits after every proposal.
+	Workers int
+	// Batch is the speculative proposal batch size (default 256); only
+	// used when Workers > 0. Part of the reproducibility key.
+	Batch int
+	// ResampleCrossRegion redirects region-crossing proposals of the
+	// partitioned refinement phase to a random slot inside the
+	// instance's own region instead of silently discarding them (the
+	// historical behaviour burned the cooling step without trying a
+	// move). Off by default so existing results stay reproducible.
+	ResampleCrossRegion bool
 }
 
 func (o Options) withDefaults(numCells int) Options {
@@ -35,6 +66,9 @@ func (o Options) withDefaults(numCells int) Options {
 	if o.Partitions <= 0 {
 		o.Partitions = 1
 	}
+	if o.Batch <= 0 {
+		o.Batch = 256
+	}
 	return o
 }
 
@@ -45,6 +79,13 @@ type Result struct {
 	Width, Height float64
 	MovesTried    int
 	MovesAccepted int
+	// MovesConflicted counts speculative proposals discarded at commit
+	// time because an earlier proposal in the same batch touched an
+	// overlapping instance, slot or net (parallel engine only).
+	MovesConflicted int
+	// MovesResampled counts region-crossing proposals redirected into
+	// the instance's own region (Options.ResampleCrossRegion).
+	MovesResampled int
 	// RuntimeProxy counts cost-function evaluations, a deterministic
 	// stand-in for wall-clock TAT in the experiments.
 	RuntimeProxy int
@@ -68,6 +109,75 @@ func (g *grid) coords(slot int) (x, y float64) {
 	return (float64(c) + 0.5) * g.cellW, (float64(r) + 0.5) * g.rowH
 }
 
+// evalScratch is the per-evaluator scratch state: a stamp array dedupes
+// the affected-net list without allocating. Each concurrent evaluator
+// owns its own scratch; the shared placer state is read-only during
+// evaluation.
+type evalScratch struct {
+	stamp    []int32
+	gen      int32
+	affected []int32
+}
+
+func newEvalScratch(numNets int) evalScratch {
+	return evalScratch{stamp: make([]int32, numNets), affected: make([]int32, 0, 16)}
+}
+
+func (sc *evalScratch) next() {
+	sc.gen++
+	if sc.gen == math.MaxInt32 {
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.gen = 1
+	}
+}
+
+// commitScratch extends the stamp pattern with per-net move flags so a
+// committed swap can classify each affected net: bit 1 = the moving
+// instance pins it, bit 2 = the displaced occupant pins it.
+type commitScratch struct {
+	stamp    []int32
+	pos      []int32 // net -> index into affected (valid when stamped)
+	gen      int32
+	affected []int32
+	flags    []uint8
+}
+
+func newCommitScratch(numNets int) commitScratch {
+	return commitScratch{
+		stamp:    make([]int32, numNets),
+		pos:      make([]int32, numNets),
+		affected: make([]int32, 0, 16),
+		flags:    make([]uint8, 0, 16),
+	}
+}
+
+// placer is the shared annealing state. The serial and speculative
+// engines differ only in how they drive propose/evaluate/commit.
+type placer struct {
+	n    *netlist.Netlist
+	opts Options
+	g    *grid
+	w, h float64
+	res  Result
+
+	inc  netlist.Incidence
+	pins netlist.NetPins
+
+	// Cached per-net bounding boxes (SoA): the "before" cost of a move
+	// is four array reads instead of a rescan of every pin.
+	minX, maxX, minY, maxY []float64
+
+	part        []int
+	partitioned bool
+	regionSlots [][]int
+	coarseProxy int
+
+	eval   evalScratch
+	commit commitScratch
+}
+
 // Place runs simulated annealing on the netlist, mutating instance
 // coordinates, and returns quality metrics.
 func Place(n *netlist.Netlist, opts Options) Result {
@@ -75,178 +185,310 @@ func Place(n *netlist.Netlist, opts Options) Result {
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	w, h := netlist.DieSize(n, opts.Utilization)
-	g := buildGrid(n, w, h, rng)
-	res := Result{Width: w, Height: h}
+	p := &placer{n: n, opts: opts, w: w, h: h}
+	p.g = buildGrid(n, w, h, rng)
+	p.res = Result{Width: w, Height: h}
 
-	// Incidence: nets touching each instance (excluding clock).
-	netsOf := make([][]int, n.NumCells())
-	for i := range n.Nets {
-		net := &n.Nets[i]
-		if net.IsClock {
+	p.inc = n.BuildIncidence()
+	p.pins = n.BuildNetPins()
+	numNets := len(n.Nets)
+	p.minX = make([]float64, numNets)
+	p.maxX = make([]float64, numNets)
+	p.minY = make([]float64, numNets)
+	p.maxY = make([]float64, numNets)
+	p.eval = newEvalScratch(numNets)
+	p.commit = newCommitScratch(numNets)
+	p.part = make([]int, n.NumCells())
+
+	applyCoords(n, p.g)
+	p.res.InitialHPWLUm = n.TotalHPWL()
+	for nid := 0; nid < numNets; nid++ {
+		p.rescanBox(nid)
+	}
+
+	if opts.Workers > 0 {
+		p.annealSpeculative(rng)
+	} else {
+		p.annealSerial(rng)
+	}
+
+	applyCoords(n, p.g)
+	p.res.HPWLUm = n.TotalHPWL()
+	p.res.ParallelRuntimeProxy = p.res.RuntimeProxy
+	if opts.Partitions > 1 {
+		regions := opts.Partitions * opts.Partitions
+		p.res.ParallelRuntimeProxy = p.coarseProxy + (p.res.RuntimeProxy-p.coarseProxy)/regions
+	}
+	return p.res
+}
+
+// annealSerial is the historical commit-every-move engine. Its random
+// stream, acceptance decisions and floating-point results are bit-for-
+// bit identical to the pre-SoA placer.
+func (p *placer) annealSerial(rng *rand.Rand) {
+	temp, cool := p.schedule(rng)
+	numCells := p.n.NumCells()
+	numSlots := len(p.g.instAt)
+	coarseMoves := 0
+	if p.opts.Partitions > 1 {
+		coarseMoves = p.opts.Moves / 4
+	}
+	for m := 0; m < p.opts.Moves; m++ {
+		if p.opts.Partitions > 1 && !p.partitioned && m >= coarseMoves {
+			p.assignPartitions()
+		}
+		inst := rng.Intn(numCells)
+		slot := rng.Intn(numSlots)
+		if slot == p.g.slotOf[inst] {
+			temp *= cool
 			continue
 		}
-		if net.Driver >= 0 {
-			netsOf[net.Driver] = append(netsOf[net.Driver], i)
-		}
-		for _, s := range net.Sinks {
-			netsOf[s.Inst] = append(netsOf[s.Inst], i)
-		}
-	}
-	for i := range netsOf {
-		netsOf[i] = dedupe(netsOf[i])
-	}
-
-	applyCoords(n, g)
-	res.InitialHPWLUm = n.TotalHPWL()
-
-	// Partitioned mode runs a flat coarse pass first (global
-	// optimization places connected cells near each other), then locks
-	// each instance into the region it landed in and refines within
-	// regions only — the "RTL partition and floorplan co-optimization"
-	// shape of Fig. 4(b), where the small subproblems can be solved in
-	// parallel. part is assigned after the coarse phase.
-	part := make([]int, n.NumCells())
-	assignPartitions := func() {
-		for inst := range part {
-			x, y := g.coords(g.slotOf[inst])
-			px := clamp(int(x/w*float64(opts.Partitions)), 0, opts.Partitions-1)
-			py := clamp(int(y/h*float64(opts.Partitions)), 0, opts.Partitions-1)
-			part[inst] = py*opts.Partitions + px
-		}
-	}
-	regionOfSlot := func(slot int) int {
-		if opts.Partitions <= 1 {
-			return 0
-		}
-		x, y := g.coords(slot)
-		px := clamp(int(x/w*float64(opts.Partitions)), 0, opts.Partitions-1)
-		py := clamp(int(y/h*float64(opts.Partitions)), 0, opts.Partitions-1)
-		return py*opts.Partitions + px
-	}
-
-	// netHPWL evaluates one net's HPWL from grid coordinates.
-	netHPWL := func(netID int) float64 {
-		net := &n.Nets[netID]
-		first := true
-		var minX, maxX, minY, maxY float64
-		add := func(inst int) {
-			x, y := g.coords(g.slotOf[inst])
-			if first {
-				minX, maxX, minY, maxY = x, x, y, y
-				first = false
-				return
+		if p.partitioned && p.regionOfSlot(slot) != p.part[inst] {
+			if !p.opts.ResampleCrossRegion {
+				temp *= cool
+				continue
 			}
-			minX = math.Min(minX, x)
-			maxX = math.Max(maxX, x)
-			minY = math.Min(minY, y)
-			maxY = math.Max(maxY, y)
-		}
-		if net.Driver >= 0 {
-			add(net.Driver)
-		}
-		for _, s := range net.Sinks {
-			add(s.Inst)
-		}
-		if first {
-			return 0
-		}
-		return (maxX - minX) + (maxY - minY)
-	}
-
-	// moveDelta computes the HPWL change of swapping inst into slot
-	// (with whatever occupies it). A stamp array dedupes the affected
-	// nets without per-move allocation.
-	affected := make([]int, 0, 16)
-	stamp := make([]int, len(n.Nets))
-	stampGen := 0
-	moveDelta := func(inst, slot int) float64 {
-		other := g.instAt[slot]
-		stampGen++
-		affected = affected[:0]
-		for _, nid := range netsOf[inst] {
-			if stamp[nid] != stampGen {
-				stamp[nid] = stampGen
-				affected = append(affected, nid)
+			cand := p.regionSlots[p.part[inst]]
+			slot = cand[rng.Intn(len(cand))]
+			p.res.MovesResampled++
+			if slot == p.g.slotOf[inst] {
+				temp *= cool
+				continue
 			}
 		}
-		if other >= 0 {
-			for _, nid := range netsOf[other] {
-				if stamp[nid] != stampGen {
-					stamp[nid] = stampGen
-					affected = append(affected, nid)
-				}
-			}
+		p.res.MovesTried++
+		delta, cost := p.evalDelta(inst, slot, &p.eval)
+		p.res.RuntimeProxy += cost
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			p.commitSwap(inst, slot)
+			p.res.MovesAccepted++
 		}
-		var before float64
-		for _, nid := range affected {
-			before += netHPWL(nid)
-		}
-		oldSlot := g.slotOf[inst]
-		swap(g, inst, slot)
-		var after float64
-		for _, nid := range affected {
-			after += netHPWL(nid)
-		}
-		swap(g, inst, oldSlot) // undo: inst home, displaced occupant back
-		res.RuntimeProxy += 2 * len(affected)
-		return after - before
+		temp *= cool
 	}
+}
 
-	// Initial temperature: mean |delta| of random moves.
-	temp := opts.StartTemp
+// schedule samples the initial temperature (mean |delta| of random
+// moves) and derives the geometric cooling factor.
+func (p *placer) schedule(rng *rand.Rand) (temp, cool float64) {
+	temp = p.opts.StartTemp
 	if temp <= 0 {
 		var sum float64
 		const samples = 64
 		for i := 0; i < samples; i++ {
-			inst := rng.Intn(n.NumCells())
-			slot := rng.Intn(len(g.instAt))
-			sum += math.Abs(moveDelta(inst, slot))
+			inst := rng.Intn(p.n.NumCells())
+			slot := rng.Intn(len(p.g.instAt))
+			d, cost := p.evalDelta(inst, slot, &p.eval)
+			p.res.RuntimeProxy += cost
+			sum += math.Abs(d)
 		}
 		temp = sum/samples + 1e-9
 	}
 	final := temp / 2000
-	cool := math.Pow(final/temp, 1/float64(opts.Moves))
+	cool = math.Pow(final/temp, 1/float64(p.opts.Moves))
+	return temp, cool
+}
 
-	numSlots := len(g.instAt)
-	coarseMoves := 0
-	if opts.Partitions > 1 {
-		coarseMoves = opts.Moves / 4
+// Partitioned mode runs a flat coarse pass first (global optimization
+// places connected cells near each other), then locks each instance
+// into the region it landed in and refines within regions only — the
+// "RTL partition and floorplan co-optimization" shape of Fig. 4(b),
+// where the small subproblems can be solved in parallel.
+func (p *placer) assignPartitions() {
+	for inst := range p.part {
+		p.part[inst] = p.regionOfSlot(p.g.slotOf[inst])
 	}
-	coarseProxy := 0
-	partitioned := false
-	for m := 0; m < opts.Moves; m++ {
-		if opts.Partitions > 1 && !partitioned && m >= coarseMoves {
-			assignPartitions()
-			partitioned = true
-			coarseProxy = res.RuntimeProxy
+	p.partitioned = true
+	p.coarseProxy = p.res.RuntimeProxy
+	if p.opts.ResampleCrossRegion {
+		p.regionSlots = make([][]int, p.opts.Partitions*p.opts.Partitions)
+		for slot := range p.g.instAt {
+			r := p.regionOfSlot(slot)
+			p.regionSlots[r] = append(p.regionSlots[r], slot)
 		}
-		inst := rng.Intn(n.NumCells())
-		slot := rng.Intn(numSlots)
-		if slot == g.slotOf[inst] {
-			temp *= cool
+	}
+}
+
+func (p *placer) regionOfSlot(slot int) int {
+	if p.opts.Partitions <= 1 {
+		return 0
+	}
+	x, y := p.g.coords(slot)
+	px := num.Clamp(int(x/p.w*float64(p.opts.Partitions)), 0, p.opts.Partitions-1)
+	py := num.Clamp(int(y/p.h*float64(p.opts.Partitions)), 0, p.opts.Partitions-1)
+	return py*p.opts.Partitions + px
+}
+
+// evalDelta computes the HPWL change of swapping inst into slot (with
+// whatever occupies it) without mutating any shared state: the "before"
+// cost reads the cached boxes, the "after" cost rescans the affected
+// nets substituting the swapped positions. Safe to call concurrently
+// with distinct scratches. The second result is the historical
+// runtime-proxy cost of the evaluation (2 passes over affected nets).
+func (p *placer) evalDelta(inst, slot int, sc *evalScratch) (delta float64, cost int) {
+	g := p.g
+	other := g.instAt[slot]
+	sc.next()
+	aff := sc.affected[:0]
+	for _, nid := range p.inc.Of(inst) {
+		if sc.stamp[nid] != sc.gen {
+			sc.stamp[nid] = sc.gen
+			aff = append(aff, nid)
+		}
+	}
+	if other >= 0 && other != inst {
+		for _, nid := range p.inc.Of(other) {
+			if sc.stamp[nid] != sc.gen {
+				sc.stamp[nid] = sc.gen
+				aff = append(aff, nid)
+			}
+		}
+	}
+	sc.affected = aff
+
+	var before float64
+	for _, nid := range aff {
+		before += (p.maxX[nid] - p.minX[nid]) + (p.maxY[nid] - p.minY[nid])
+	}
+	instX, instY := g.coords(slot)
+	otherX, otherY := g.coords(g.slotOf[inst])
+	o32 := int32(-1)
+	if other >= 0 && other != inst {
+		o32 = int32(other)
+	}
+	var after float64
+	for _, nid := range aff {
+		after += p.hpwlMoved(int(nid), int32(inst), instX, instY, o32, otherX, otherY)
+	}
+	return after - before, 2 * len(aff)
+}
+
+// hpwlMoved computes one net's HPWL with inst and other virtually moved
+// to the given coordinates — the same pin visit order and math.Min/Max
+// sequence as Netlist.HPWL, so the result is bit-identical to a rescan
+// after a real swap.
+func (p *placer) hpwlMoved(nid int, inst int32, instX, instY float64, other int32, otherX, otherY float64) float64 {
+	pins := p.pins.Of(nid)
+	if len(pins) == 0 {
+		return 0
+	}
+	first := true
+	var minX, maxX, minY, maxY float64
+	for _, pin := range pins {
+		var x, y float64
+		switch pin {
+		case inst:
+			x, y = instX, instY
+		case other:
+			x, y = otherX, otherY
+		default:
+			x, y = p.g.coords(p.g.slotOf[pin])
+		}
+		if first {
+			minX, maxX, minY, maxY = x, x, y, y
+			first = false
 			continue
 		}
-		if partitioned && regionOfSlot(slot) != part[inst] {
-			temp *= cool
-			continue
-		}
-		res.MovesTried++
-		delta := moveDelta(inst, slot)
-		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			swap(g, inst, slot)
-			res.MovesAccepted++
-		}
-		temp *= cool
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
 	}
+	return (maxX - minX) + (maxY - minY)
+}
 
-	applyCoords(n, g)
-	res.HPWLUm = n.TotalHPWL()
-	res.ParallelRuntimeProxy = res.RuntimeProxy
-	if opts.Partitions > 1 {
-		regions := opts.Partitions * opts.Partitions
-		res.ParallelRuntimeProxy = coarseProxy + (res.RuntimeProxy-coarseProxy)/regions
+// commitSwap performs the swap and maintains the cached boxes exactly.
+// Nets pinned by both swap endpoints keep an unchanged position set, so
+// their boxes are untouched; nets pinned by one endpoint get an exact
+// incremental update when the vacated point was strictly interior, and
+// a full rescan otherwise. The affected-net list remains available in
+// p.commit.affected for the caller (the speculative engine stamps it).
+func (p *placer) commitSwap(inst, slot int) {
+	g := p.g
+	other := g.instAt[slot]
+	oldSlot := g.slotOf[inst]
+
+	sc := &p.commit
+	sc.gen++
+	if sc.gen == math.MaxInt32 {
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.gen = 1
 	}
-	return res
+	aff := sc.affected[:0]
+	flags := sc.flags[:0]
+	for _, nid := range p.inc.Of(inst) {
+		sc.stamp[nid] = sc.gen
+		sc.pos[nid] = int32(len(aff))
+		aff = append(aff, nid)
+		flags = append(flags, 1)
+	}
+	if other >= 0 && other != inst {
+		for _, nid := range p.inc.Of(other) {
+			if sc.stamp[nid] == sc.gen {
+				flags[sc.pos[nid]] |= 2
+				continue
+			}
+			sc.stamp[nid] = sc.gen
+			sc.pos[nid] = int32(len(aff))
+			aff = append(aff, nid)
+			flags = append(flags, 2)
+		}
+	}
+	sc.affected, sc.flags = aff, flags
+
+	swap(g, inst, slot)
+
+	newX, newY := g.coords(slot)
+	oldX, oldY := g.coords(oldSlot)
+	for k, nid := range aff {
+		switch flags[k] {
+		case 1: // inst moved oldSlot -> slot
+			p.updateBox(int(nid), oldX, oldY, newX, newY)
+		case 2: // other moved slot -> oldSlot
+			p.updateBox(int(nid), newX, newY, oldX, oldY)
+			// case 3: both endpoints pin this net; the position set is
+			// unchanged by the swap, so the box is too.
+		}
+	}
+}
+
+// updateBox maintains a net's cached box across one pin moving from
+// (remX,remY) to (addX,addY). If the removed point touches the box
+// boundary the box may shrink and a rescan is needed; otherwise the box
+// over the remaining points is unchanged and merging the added point is
+// exact.
+func (p *placer) updateBox(nid int, remX, remY, addX, addY float64) {
+	if remX <= p.minX[nid] || remX >= p.maxX[nid] ||
+		remY <= p.minY[nid] || remY >= p.maxY[nid] {
+		p.rescanBox(nid)
+		return
+	}
+	p.minX[nid] = math.Min(p.minX[nid], addX)
+	p.maxX[nid] = math.Max(p.maxX[nid], addX)
+	p.minY[nid] = math.Min(p.minY[nid], addY)
+	p.maxY[nid] = math.Max(p.maxY[nid], addY)
+}
+
+// rescanBox recomputes a net's cached box from the current grid, with
+// the same pin order and comparison sequence as Netlist.HPWL.
+func (p *placer) rescanBox(nid int) {
+	pins := p.pins.Of(nid)
+	if len(pins) == 0 {
+		p.minX[nid], p.maxX[nid], p.minY[nid], p.maxY[nid] = 0, 0, 0, 0
+		return
+	}
+	x, y := p.g.coords(p.g.slotOf[pins[0]])
+	minX, maxX, minY, maxY := x, x, y, y
+	for _, pin := range pins[1:] {
+		x, y := p.g.coords(p.g.slotOf[pin])
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	p.minX[nid], p.maxX[nid] = minX, maxX
+	p.minY[nid], p.maxY[nid] = minY, maxY
 }
 
 // buildGrid creates the slot grid sized for the die and scatters the
@@ -303,6 +545,7 @@ func applyCoords(n *netlist.Netlist, g *grid) {
 		n.Insts[inst].X = x
 		n.Insts[inst].Y = y
 	}
+	n.InvalidatePlacement()
 }
 
 // Snapshot captures instance coordinates so multistart/GWTW can save and
@@ -320,6 +563,7 @@ func Restore(n *netlist.Netlist, s []float64) {
 	for i := range n.Insts {
 		n.Insts[i].X, n.Insts[i].Y = s[2*i], s[2*i+1]
 	}
+	n.InvalidatePlacement()
 }
 
 // Distance returns the average per-cell Manhattan distance between two
@@ -333,27 +577,4 @@ func Distance(a, b []float64) float64 {
 		d += math.Abs(a[i]-b[i]) + math.Abs(a[i+1]-b[i+1])
 	}
 	return d / float64(len(a)/2)
-}
-
-func dedupe(xs []int) []int {
-	seen := make(map[int]struct{}, len(xs))
-	out := xs[:0]
-	for _, x := range xs {
-		if _, ok := seen[x]; ok {
-			continue
-		}
-		seen[x] = struct{}{}
-		out = append(out, x)
-	}
-	return out
-}
-
-func clamp(x, lo, hi int) int {
-	if x < lo {
-		return lo
-	}
-	if x > hi {
-		return hi
-	}
-	return x
 }

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"repro/internal/netlist"
+	"repro/internal/num"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,20 @@ type GlobalOptions struct {
 	GridDim       int     // routing grid is GridDim x GridDim (default 24)
 	TracksPerEdge float64 // capacity per grid edge (default 28)
 	Seed          int64
+	// Tiles > 1 selects the region-sharded parallel router (sharded.go):
+	// the grid is partitioned into Tiles x Tiles regions, nets whose
+	// pins all fall inside one region are routed concurrently per region
+	// (each region owns a deterministic rng stream and touches a
+	// disjoint set of demand edges), and the remaining boundary-crossing
+	// nets are reconciled with deterministic parallel
+	// rip-up-and-reroute passes against frozen demand snapshots.
+	// Results depend only on Seed, GridDim and Tiles — identical at
+	// every Workers setting and GOMAXPROCS — but differ from the
+	// Tiles <= 1 serial net order.
+	Tiles int
+	// Workers caps concurrent region routing (default Tiles*Tiles,
+	// i.e. every region in flight at once).
+	Workers int
 }
 
 func (o GlobalOptions) withDefaults() GlobalOptions {
@@ -62,100 +77,177 @@ func (g *GlobalResult) CongestionMargin() float64 {
 	return 1 - (g.OverflowTotal/float64(len(g.Demand)))/g.Capacity - 0.6*g.HotspotFrac
 }
 
-// GlobalRoute routes every non-clock net with congestion-aware L-shaped
-// pattern routing on a uniform grid and returns the congestion picture.
-func GlobalRoute(n *netlist.Netlist, opts GlobalOptions) *GlobalResult {
-	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
+// router is the shared global-routing core: grid geometry, the demand
+// map and the negotiated-congestion L-shape primitive. The serial
+// GlobalRoute drives it over all nets with one rng; the region-sharded
+// router (sharded.go) drives it per tile with per-tile rng streams.
+type router struct {
+	n      *netlist.Netlist
+	opts   GlobalOptions
+	dim    int
+	w, h   float64
+	numH   int
+	demand []float64 // horizontal then vertical edges
+}
+
+func newRouter(n *netlist.Netlist, opts GlobalOptions) *router {
 	dim := opts.GridDim
-
 	w, h := dieExtent(n)
-	toGrid := func(x, y float64) (int, int) {
-		gx := int(x / w * float64(dim))
-		gy := int(y / h * float64(dim))
-		return clamp(gx, 0, dim-1), clamp(gy, 0, dim-1)
-	}
-
 	// Edge indexing: horizontal edge (x,y)->(x+1,y) at hIdx; vertical
 	// edge (x,y)->(x,y+1) at vIdx.
 	numH := (dim - 1) * dim
 	numV := dim * (dim - 1)
-	demand := make([]float64, numH+numV)
-	hIdx := func(x, y int) int { return y*(dim-1) + x }
-	vIdx := func(x, y int) int { return numH + x*(dim-1) + y }
-
-	res := &GlobalResult{GridDim: dim, Demand: demand, Capacity: opts.TracksPerEdge}
-
-	// Cost of adding one track to an edge: grows steeply near capacity
-	// (standard negotiated-congestion style cost).
-	edgeCost := func(e int) float64 {
-		u := demand[e] / opts.TracksPerEdge
-		return 1 + math.Exp(6*(u-1))
+	return &router{
+		n: n, opts: opts, dim: dim, w: w, h: h,
+		numH:   numH,
+		demand: make([]float64, numH+numV),
 	}
-	routeSeg := func(x1, y1, x2, y2 int, commit bool) float64 {
-		var cost float64
-		step := func(e int) {
-			cost += edgeCost(e)
-			if commit {
-				demand[e]++
-			}
-		}
-		for x := min(x1, x2); x < max(x1, x2); x++ {
-			step(hIdx(x, y1))
-		}
-		for y := min(y1, y2); y < max(y1, y2); y++ {
-			step(vIdx(x2, y))
-		}
-		return cost
-	}
+}
 
-	for i := range n.Nets {
-		net := &n.Nets[i]
-		if net.IsClock || net.Driver < 0 || len(net.Sinks) == 0 {
+func (r *router) toGrid(x, y float64) (int, int) {
+	gx := int(x / r.w * float64(r.dim))
+	gy := int(y / r.h * float64(r.dim))
+	return num.Clamp(gx, 0, r.dim-1), num.Clamp(gy, 0, r.dim-1)
+}
+
+func (r *router) hIdx(x, y int) int { return y*(r.dim-1) + x }
+func (r *router) vIdx(x, y int) int { return r.numH + x*(r.dim-1) + y }
+
+// congCost is the cost of adding one track to an edge carrying demand
+// d: grows steeply near capacity (standard negotiated-congestion style
+// cost).
+func (r *router) congCost(d float64) float64 {
+	return 1 + math.Exp(6*(d/r.opts.TracksPerEdge-1))
+}
+
+func (r *router) edgeCost(e int) float64 { return r.congCost(r.demand[e]) }
+
+// costL prices the horizontal-first L from (x1,y1) to (x2,y2) against
+// the demand map without claiming it. When the caller has a previous
+// route for the same pin pair in the map, subRow/subCol name that L's
+// row and column and one track is subtracted on the overlap (the spans
+// coincide because the pair's endpoints do); pass -1/-1 to price
+// as-is. The vertical-first L is the same call with endpoints swapped.
+func (r *router) costL(x1, y1, x2, y2, subRow, subCol int) float64 {
+	var cost float64
+	ownRow := y1 == subRow
+	for x := min(x1, x2); x < max(x1, x2); x++ {
+		d := r.demand[r.hIdx(x, y1)]
+		if ownRow {
+			d--
+		}
+		cost += r.congCost(d)
+	}
+	ownCol := x2 == subCol
+	for y := min(y1, y2); y < max(y1, y2); y++ {
+		d := r.demand[r.vIdx(x2, y)]
+		if ownCol {
+			d--
+		}
+		cost += r.congCost(d)
+	}
+	return cost
+}
+
+// stampL claims one track along the horizontal-first L from (x1,y1) to
+// (x2,y2) without pricing it (routeSeg prices and claims in one walk,
+// which wastes the exp() calls when the cost is already known).
+// delta is +1 to claim, -1 to rip up.
+func (r *router) stampL(x1, y1, x2, y2 int, delta float64) {
+	for x := min(x1, x2); x < max(x1, x2); x++ {
+		r.demand[r.hIdx(x, y1)] += delta
+	}
+	for y := min(y1, y2); y < max(y1, y2); y++ {
+		r.demand[r.vIdx(x2, y)] += delta
+	}
+}
+
+// routeSeg prices (and with commit, claims) the horizontal-first L from
+// (x1,y1) to (x2,y2). The vertical-first L is the same primitive called
+// with the endpoints reversed: its edge set matches the backward
+// traversal of the horizontal-first route.
+func (r *router) routeSeg(x1, y1, x2, y2 int, commit bool) float64 {
+	var cost float64
+	for x := min(x1, x2); x < max(x1, x2); x++ {
+		e := r.hIdx(x, y1)
+		cost += r.edgeCost(e)
+		if commit {
+			r.demand[e]++
+		}
+	}
+	for y := min(y1, y2); y < max(y1, y2); y++ {
+		e := r.vIdx(x2, y)
+		cost += r.edgeCost(e)
+		if commit {
+			r.demand[e]++
+		}
+	}
+	return cost
+}
+
+// routeNet routes every sink of one net, accumulating wirelength into
+// *wl (pointer so callers control the float summation order). All
+// demand reads and writes stay on edges between the net's pin cells.
+func (r *router) routeNet(netID int, rng *rand.Rand, wl *float64) {
+	net := &r.n.Nets[netID]
+	if net.IsClock || net.Driver < 0 || len(net.Sinks) == 0 {
+		return
+	}
+	sx, sy := r.toGrid(r.n.Insts[net.Driver].X, r.n.Insts[net.Driver].Y)
+	for _, s := range net.Sinks {
+		tx, ty := r.toGrid(r.n.Insts[s.Inst].X, r.n.Insts[s.Inst].Y)
+		if sx == tx && sy == ty {
 			continue
 		}
-		sx, sy := toGrid(n.Insts[net.Driver].X, n.Insts[net.Driver].Y)
-		for _, s := range net.Sinks {
-			tx, ty := toGrid(n.Insts[s.Inst].X, n.Insts[s.Inst].Y)
-			if sx == tx && sy == ty {
-				continue
-			}
-			// Two L-shapes: horizontal-first vs vertical-first;
-			// take the cheaper, breaking ties randomly.
-			c1 := routeSeg(sx, sy, tx, ty, false)            // H then V
-			c2 := routeSeg2(routeSeg, sx, sy, tx, ty, false) // V then H
-			if c1 < c2 || (c1 == c2 && rng.Float64() < 0.5) {
-				routeSeg(sx, sy, tx, ty, true)
-			} else {
-				routeSeg2(routeSeg, sx, sy, tx, ty, true)
-			}
-			res.WirelengthUm += (math.Abs(float64(sx-tx)) + math.Abs(float64(sy-ty))) * w / float64(dim)
+		// Two L-shapes: horizontal-first vs vertical-first;
+		// take the cheaper, breaking ties randomly.
+		c1 := r.routeSeg(sx, sy, tx, ty, false) // H then V
+		c2 := r.routeSeg(tx, ty, sx, sy, false) // V then H
+		if c1 < c2 || (c1 == c2 && rng.Float64() < 0.5) {
+			r.routeSeg(sx, sy, tx, ty, true)
+		} else {
+			r.routeSeg(tx, ty, sx, sy, true)
 		}
+		*wl += (math.Abs(float64(sx-tx)) + math.Abs(float64(sy-ty))) * r.w / float64(r.dim)
 	}
+}
 
+// finish computes the overflow statistics from the demand map.
+func (r *router) finish(wl float64) *GlobalResult {
+	res := &GlobalResult{
+		GridDim: r.dim, Demand: r.demand,
+		Capacity: r.opts.TracksPerEdge, WirelengthUm: wl,
+	}
 	hot := 0
-	for _, d := range demand {
-		if over := d - opts.TracksPerEdge; over > 0 {
+	for _, d := range r.demand {
+		if over := d - r.opts.TracksPerEdge; over > 0 {
 			res.OverflowTotal += over
 			if over > res.OverflowPeak {
 				res.OverflowPeak = over
 			}
 		}
-		if d > 0.9*opts.TracksPerEdge {
+		if d > 0.9*r.opts.TracksPerEdge {
 			hot++
 		}
 	}
-	res.HotspotFrac = float64(hot) / float64(len(demand))
+	res.HotspotFrac = float64(hot) / float64(len(r.demand))
 	return res
 }
 
-// routeSeg2 is the vertical-first L: route (sx,sy)->(sx,ty) then
-// (sx,ty)->(tx,ty), expressed via the horizontal-first primitive by
-// swapping the bend.
-func routeSeg2(routeSeg func(int, int, int, int, bool) float64, sx, sy, tx, ty int, commit bool) float64 {
-	// Vertical-first from (sx,sy) to (tx,ty) equals horizontal-first
-	// from (tx,ty) to (sx,sy) traversed backwards; edge sets match.
-	return routeSeg(tx, ty, sx, sy, commit)
+// GlobalRoute routes every non-clock net with congestion-aware L-shaped
+// pattern routing on a uniform grid and returns the congestion picture.
+func GlobalRoute(n *netlist.Netlist, opts GlobalOptions) *GlobalResult {
+	opts = opts.withDefaults()
+	if opts.Tiles > 1 {
+		return globalRouteSharded(n, opts)
+	}
+	r := newRouter(n, opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var wl float64
+	for i := range n.Nets {
+		r.routeNet(i, rng, &wl)
+	}
+	return r.finish(wl)
 }
 
 // IterAction is a live supervision decision taken between rip-up
@@ -320,12 +412,10 @@ func DetailRouteCtx(ctx context.Context, g *GlobalResult, opts DetailOptions) *D
 	return res
 }
 
+// dieExtent derives the routed die from the placement extent (cached on
+// the netlist) plus a 1% halo.
 func dieExtent(n *netlist.Netlist) (w, h float64) {
-	var maxX, maxY float64
-	for i := range n.Insts {
-		maxX = math.Max(maxX, n.Insts[i].X)
-		maxY = math.Max(maxY, n.Insts[i].Y)
-	}
+	maxX, maxY := n.PlacedExtent()
 	if maxX <= 0 {
 		maxX = 1
 	}
@@ -333,28 +423,4 @@ func dieExtent(n *netlist.Netlist) (w, h float64) {
 		maxY = 1
 	}
 	return maxX * 1.01, maxY * 1.01
-}
-
-func clamp(x, lo, hi int) int {
-	if x < lo {
-		return lo
-	}
-	if x > hi {
-		return hi
-	}
-	return x
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Gang is a persistent crew of workers for tight data-parallel rounds.
+// Unlike Pool — which spawns a goroutine per task and meters licenses —
+// a Gang keeps its workers hot between rounds so that an inner loop can
+// fan the same index space out thousands of times (one round per
+// annealing epoch, say) without paying a park/unpark round trip each
+// time: on kernels where futex wake-ups are expensive (container
+// hypervisors, gVisor-style sandboxes) that round trip can cost more
+// than the round's work. Workers spin on an atomic round pointer with
+// Gosched backoff while rounds are flowing and only doze once the gang
+// has been quiet for a while. The caller's goroutine always joins the
+// round itself, so a Gang of one runs entirely inline and adds no
+// synchronization.
+type Gang struct {
+	workers int
+	cur     atomic.Pointer[gangRound]
+	stop    atomic.Bool
+}
+
+// gangRound is one barrier's worth of work. Each Round allocates a
+// fresh one, so a worker that wakes up holding a stale round can only
+// claim from that stale round's exhausted counter — never from the
+// next round's.
+type gangRound struct {
+	f      func(lo, hi int)
+	n      int
+	chunks int
+	size   int
+	next   atomic.Int64 // chunk claim counter (work stealing)
+	done   atomic.Int64 // chunks completed
+}
+
+// hotSpins is how many Gosched yields a worker burns waiting for the
+// next round before switching to timed dozing. Rounds in a hot loop
+// arrive well within this budget; once it is exhausted the gang is
+// probably between call sites and the worker stops consuming a CPU.
+const hotSpins = 20000
+
+// NewGang starts a crew of the given size (clamped to >= 1). Close must
+// be called to release the workers.
+func NewGang(workers int) *Gang {
+	if workers < 1 {
+		workers = 1
+	}
+	g := &Gang{workers: workers}
+	for w := 1; w < workers; w++ {
+		go g.work()
+	}
+	return g
+}
+
+// Workers returns the crew size.
+func (g *Gang) Workers() int { return g.workers }
+
+func (g *Gang) work() {
+	var last *gangRound
+	idle := 0
+	for !g.stop.Load() {
+		r := g.cur.Load()
+		if r == nil || r == last {
+			if idle < hotSpins {
+				idle++
+				runtime.Gosched()
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+			continue
+		}
+		last, idle = r, 0
+		r.run()
+	}
+}
+
+// run claims and executes chunks until the round is drained. Chunks are
+// claimed through the round's own atomic counter, so a late worker
+// simply steals whatever is left — including nothing.
+func (r *gangRound) run() {
+	for {
+		c := int(r.next.Add(1) - 1)
+		if c >= r.chunks {
+			return
+		}
+		lo := c * r.size
+		if hi := min(lo+r.size, r.n); lo < hi {
+			r.f(lo, hi)
+		}
+		r.done.Add(1)
+	}
+}
+
+// Round splits [0,n) into contiguous chunks and runs f(lo, hi) on each
+// concurrently, returning only when every chunk has finished (a full
+// barrier). Chunks are finer than the worker count so the crew can
+// steal around stragglers. f must confine its writes to per-index or
+// per-chunk state; reads of shared state are safe because the caller
+// mutates nothing until Round returns. Round must not be called
+// concurrently with itself.
+func (g *Gang) Round(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if g.workers == 1 {
+		f(0, n)
+		return
+	}
+	chunks := min(4*g.workers, n)
+	r := &gangRound{f: f, n: n, chunks: chunks, size: (n + chunks - 1) / chunks}
+	g.cur.Store(r)
+	r.run()
+	for r.done.Load() != int64(chunks) {
+		runtime.Gosched()
+	}
+}
+
+// Close releases the workers. The Gang must not be used afterwards.
+func (g *Gang) Close() { g.stop.Store(true) }

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRoundCoversIndexSpace(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 3, 7, 64, 1000} {
+			g := NewGang(workers)
+			hits := make([]int32, n)
+			g.Round(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			g.Close()
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestGangRoundReusable(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	var total atomic.Int64
+	for round := 0; round < 200; round++ {
+		g.Round(37, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	}
+	if got := total.Load(); got != 200*37 {
+		t.Fatalf("200 rounds of 37 indices covered %d, want %d", got, 200*37)
+	}
+}
+
+func TestGangRoundIsBarrier(t *testing.T) {
+	g := NewGang(8)
+	defer g.Close()
+	buf := make([]int, 256)
+	for round := 1; round <= 50; round++ {
+		r := round
+		g.Round(len(buf), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] = r
+			}
+		})
+		// If Round returned before every chunk finished, a stale value
+		// from the previous round would still be visible here.
+		for i, v := range buf {
+			if v != r {
+				t.Fatalf("round %d: index %d holds %d after barrier", r, i, v)
+			}
+		}
+	}
+}
+
+func TestGangClampsWorkers(t *testing.T) {
+	g := NewGang(0)
+	defer g.Close()
+	if g.Workers() != 1 {
+		t.Fatalf("NewGang(0) workers = %d, want 1", g.Workers())
+	}
+	ran := false
+	g.Round(5, func(lo, hi int) {
+		if lo == 0 && hi == 5 {
+			ran = true
+		}
+	})
+	if !ran {
+		t.Fatal("single-worker gang should run the whole range inline")
+	}
+}

@@ -108,6 +108,7 @@ func Anonymize(n *netlist.Netlist, mode Mode, seed int64) *netlist.Netlist {
 			out.Insts[i].Y = 0
 		}
 	}
+	out.InvalidatePlacement()
 	return out
 }
 

@@ -2,12 +2,13 @@
 # Tier-1 gate for the repository.
 #
 #   scripts/check.sh          vet + build + race-enabled tests (with a
-#                             doubled concurrency tier on the scheduler
-#                             and campaign engine, the abort/retry
-#                             substrate)
+#                             doubled concurrency tier on the scheduler,
+#                             campaign engine, and the parallel place &
+#                             route kernels)
 #   scripts/check.sh bench    also run the benchmark pairs and write the
 #                             speedups to BENCH_campaign.json /
-#                             BENCH_sta.json, and the live doomed-run
+#                             BENCH_sta.json / BENCH_place.json /
+#                             BENCH_route.json, and the live doomed-run
 #                             abort gate to BENCH_doomed.json
 #   scripts/check.sh crash    crash-safety tier: -race over the journal/
 #                             watchdog/campaign/flow paths, a fuzz smoke
@@ -35,6 +36,14 @@
 #   campaign_speedup_x=<serial ns/op divided by parallel ns/op>
 #   trace_overhead_pct=<traced vs untraced parallel campaign, percent>
 #   sta_recover_speedup_x=<full ns/op divided by incremental ns/op>
+#   place_speedup_x=<speculative annealer, 1 worker vs 20-worker gang>
+#   route_speedup_x=<sharded router, 1 worker vs all-regions-in-flight>
+#
+# The place and route pairs run the SAME parallel kernel at worker count
+# 1 (the serial reference) and at full fan-out; both kernels are
+# worker-invariant by construction, so the gates demand byte-identical
+# QoR metrics (hpwl/accepted/conflicted for place, wirelength/overflow/
+# drv_sum for route) alongside a >= 2x min-of-3 speedup.
 #
 # The sta pair is gated: the incremental engine must be >= 10x faster at
 # pulpino-proxy scale AND land on the identical final area/WNS. The
@@ -49,13 +58,15 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-# Concurrency tier: the license pool and campaign engine carry the
-# cancellation/retry machinery every experiment fans out on, and the
-# tracer/metrics server are written to by every one of those goroutines
-# at once; run their race tests twice (fresh caches each time) before
-# the full suite.
+# Concurrency tier: the license pool, gang scheduler and campaign
+# engine carry the cancellation/retry machinery every experiment fans
+# out on, the tracer/metrics server are written to by every one of
+# those goroutines at once, and the place/route kernels run speculative
+# batches and sharded regions on the gang; run their race tests twice
+# (fresh caches each time) before the full suite.
 go test -race -count=2 ./internal/sched/... ./internal/campaign/... \
-    ./internal/trace/... ./internal/metrics/...
+    ./internal/trace/... ./internal/metrics/... \
+    ./internal/place/... ./internal/route/...
 go test -race ./...
 
 if [ "${1:-}" = "bench" ]; then
@@ -166,6 +177,90 @@ if [ "${1:-}" = "bench" ]; then
             }
         }'
     mv BENCH_doomed.json.tmp BENCH_doomed.json
+
+    # Parallel placement gate: the speculative annealer at 1 worker vs
+    # the full gang, min-of-3 (single runs drift on a shared machine).
+    # Worker invariance means the QoR metrics must match byte-for-byte.
+    out=$(go test -run=NONE -bench='BenchmarkPlace(Serial|Parallel)$' \
+        -benchtime=2x -count=3 ./internal/place/)
+    echo "$out"
+    echo "$out" | awk '
+        function metric(name,   i) {
+            for (i = 1; i <= NF; i++) if ($i == name) return $(i-1)
+            return ""
+        }
+        /BenchmarkPlaceSerial/ {
+            if (smin == "" || $3 + 0 < smin) smin = $3 + 0
+            s_hpwl = metric("hpwl"); s_acc = metric("accepted")
+            s_conf = metric("conflicted")
+        }
+        /BenchmarkPlaceParallel/ {
+            if (pmin == "" || $3 + 0 < pmin) pmin = $3 + 0
+            p_hpwl = metric("hpwl"); p_acc = metric("accepted")
+            p_conf = metric("conflicted")
+        }
+        END {
+            if (smin == "" || pmin == "" || pmin == 0) {
+                print "check.sh: could not parse place benchmark output" > "/dev/stderr"
+                exit 1
+            }
+            speedup = smin / pmin
+            printf "place_speedup_x=%.2f\n", speedup
+            printf "{\"benchmark\":\"place\",\"serial_ns_per_op\":%.0f,\"parallel_ns_per_op\":%.0f,\"speedup_x\":%.2f,\"hpwl_um\":%s,\"moves_accepted\":%s,\"moves_conflicted\":%s}\n", \
+                smin, pmin, speedup, p_hpwl, p_acc, p_conf > "BENCH_place.json.tmp"
+            if (s_hpwl != p_hpwl || s_acc != p_acc || s_conf != p_conf) {
+                printf "check.sh: place serial/parallel QoR mismatch: hpwl %s vs %s, accepted %s vs %s, conflicted %s vs %s\n", \
+                    s_hpwl, p_hpwl, s_acc, p_acc, s_conf, p_conf > "/dev/stderr"
+                exit 1
+            }
+            if (speedup < 2) {
+                printf "check.sh: place speedup %.2fx below 2x gate\n", speedup > "/dev/stderr"
+                exit 1
+            }
+        }'
+    mv BENCH_place.json.tmp BENCH_place.json
+
+    # Sharded routing gate: same shape — the region-sharded router at 1
+    # worker vs every region in flight, byte-identical congestion
+    # picture and detail-route DRV checksum.
+    out=$(go test -run=NONE -bench='BenchmarkRoute(Serial|Sharded)$' \
+        -benchtime=2x -count=3 ./internal/route/)
+    echo "$out"
+    echo "$out" | awk '
+        function metric(name,   i) {
+            for (i = 1; i <= NF; i++) if ($i == name) return $(i-1)
+            return ""
+        }
+        /BenchmarkRouteSerial/ {
+            if (smin == "" || $3 + 0 < smin) smin = $3 + 0
+            s_wl = metric("wirelength"); s_of = metric("overflow")
+            s_drv = metric("drv_sum")
+        }
+        /BenchmarkRouteSharded/ {
+            if (pmin == "" || $3 + 0 < pmin) pmin = $3 + 0
+            p_wl = metric("wirelength"); p_of = metric("overflow")
+            p_drv = metric("drv_sum")
+        }
+        END {
+            if (smin == "" || pmin == "" || pmin == 0) {
+                print "check.sh: could not parse route benchmark output" > "/dev/stderr"
+                exit 1
+            }
+            speedup = smin / pmin
+            printf "route_speedup_x=%.2f\n", speedup
+            printf "{\"benchmark\":\"route\",\"serial_ns_per_op\":%.0f,\"sharded_ns_per_op\":%.0f,\"speedup_x\":%.2f,\"wirelength_um\":%s,\"overflow_total\":%s,\"drv_sum\":%s}\n", \
+                smin, pmin, speedup, p_wl, p_of, p_drv > "BENCH_route.json.tmp"
+            if (s_wl != p_wl || s_of != p_of || s_drv != p_drv) {
+                printf "check.sh: route serial/sharded QoR mismatch: wirelength %s vs %s, overflow %s vs %s, drv_sum %s vs %s\n", \
+                    s_wl, p_wl, s_of, p_of, s_drv, p_drv > "/dev/stderr"
+                exit 1
+            }
+            if (speedup < 2) {
+                printf "check.sh: route speedup %.2fx below 2x gate\n", speedup > "/dev/stderr"
+                exit 1
+            }
+        }'
+    mv BENCH_route.json.tmp BENCH_route.json
 fi
 
 if [ "${1:-}" = "crash" ]; then
@@ -249,9 +344,10 @@ if [ "${1:-}" = "trace" ]; then
     work=$(mktemp -d)
     trap 'rm -rf "$work"' EXIT
     go run ./cmd/sprflow -design tiny -sweep 2 -parallel 2 \
+        -place-workers 2 -route-tiles 2 \
         -trace "$work/trace.json" > /dev/null
     go run ./cmd/tracecheck \
-        -require 'campaign.run,campaign.point,flow.run,flow.synth,flow.droute,route.iter,sched.wait' \
+        -require 'campaign.run,campaign.point,flow.run,flow.synth,flow.droute,route.iter,sched.wait,place.move,route.tile' \
         "$work/trace.json"
     echo "trace_demo=ok"
 fi
