@@ -7,7 +7,10 @@ bench:
 crash:
 	scripts/check.sh crash
 
+spec:
+	scripts/check.sh spec
+
 trace-demo:
 	scripts/check.sh trace
 
-.PHONY: check bench crash trace-demo
+.PHONY: check bench crash spec trace-demo

@@ -6,6 +6,7 @@
 //
 //	sprflow -design pulpino -freq 0.6 -seed 1 [-effort 2] [-robot]
 //	sprflow -design tiny -sweep 4 [-parallel N] [-journal DIR] [-resume]
+//	sprflow -design tiny -sweep 4 -speculate [-spec-tol 1]
 //	sprflow -design tiny -sweep 4 -trace trace.json -metrics-addr :8080
 //
 // A -sweep runs the full frequency x seed cross on the campaign engine
@@ -13,6 +14,13 @@
 // goes to stderr). With -journal DIR every completed point is durable:
 // kill -9 the sweep at any moment, rerun it with -resume, and the
 // output is byte-identical to the uninterrupted run.
+//
+// With -speculate the sweep overlaps downstream stages on predicted
+// upstream artifacts drawn from a sweep-local artifact memory; commit
+// decisions are pure functions of (prediction, real result), so the
+// point lines on stdout are byte-identical to a non-speculative sweep
+// at any -parallel setting. Hit/miss and chain accounting goes to
+// stderr.
 //
 // With -trace FILE the whole run is traced — campaign points, flow
 // stages, router iterations, scheduler queue waits, journal fsyncs —
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -47,6 +56,8 @@ func run() int {
 	journalDir := flag.String("journal", "", "durable journal directory for -sweep (enables checkpoint/resume)")
 	resume := flag.Bool("resume", false, "resume a killed -sweep from its -journal (same flags required)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
+	speculate := flag.Bool("speculate", false, "overlap downstream flow stages on predicted upstream artifacts during -sweep (committed results identical to a non-speculative sweep)")
+	specTol := flag.Float64("spec-tol", 0, "speculative commit tolerance on predicted stage scalars, percent (0 = default 1)")
 	placeWorkers := flag.Int("place-workers", 0, "speculative parallel annealer workers (0 = serial placer; results identical at any count >= 1)")
 	routeTiles := flag.Int("route-tiles", 0, "region-sharded global router tiles per side (0/1 = serial router)")
 	routeWorkers := flag.Int("route-workers", 0, "concurrent regions for -route-tiles (0 = all; results identical at any setting)")
@@ -81,6 +92,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-resume requires -journal DIR")
 		return 2
 	}
+	if *speculate && *sweep <= 0 {
+		fmt.Fprintln(os.Stderr, "-speculate requires -sweep (a single run has no prior artifacts to predict from)")
+		return 2
+	}
 	kernels := repro.FlowOptions{
 		SynthEffort:  *effort,
 		PlaceWorkers: *placeWorkers,
@@ -88,7 +103,14 @@ func run() int {
 		RouteWorkers: *routeWorkers,
 	}
 	if *sweep > 0 {
-		return runSweep(d, *freq, *seed, kernels, *sweep, *parallel, *journalDir, *stageTimeout)
+		return runSweep(d, *freq, *seed, kernels, sweepConfig{
+			seeds:        *sweep,
+			parallel:     *parallel,
+			journalDir:   *journalDir,
+			stageTimeout: *stageTimeout,
+			speculate:    *speculate,
+			specTol:      *specTol,
+		})
 	}
 
 	stats := d.ComputeStats()
@@ -132,31 +154,44 @@ func run() int {
 	return 0
 }
 
+// sweepConfig carries the sweep-only flags into runSweep.
+type sweepConfig struct {
+	seeds        int
+	parallel     int
+	journalDir   string
+	stageTimeout time.Duration
+	speculate    bool
+	specTol      float64
+}
+
 // runSweep executes the crash-safe QOR sweep: nSeeds seeds at three
 // target frequencies around base. Point lines go to stdout in point
-// order — a stable byte stream — while journal/resume accounting goes
-// to stderr, so `diff` between a resumed and an uninterrupted sweep
-// compares only results.
-func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOptions, nSeeds, parallel int, journalDir string, stageTimeout time.Duration) int {
+// order — a stable byte stream — while journal/resume and speculation
+// accounting go to stderr, so `diff` between a resumed (or speculative)
+// and an uninterrupted (or non-speculative) sweep compares only
+// results.
+func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOptions, cfg sweepConfig) int {
 	freqs := []float64{0.8 * baseFreq, baseFreq, 1.2 * baseFreq}
-	seeds := make([]int64, nSeeds)
+	seeds := make([]int64, cfg.seeds)
 	for i := range seeds {
 		seeds[i] = seed + int64(i)
 	}
 	res, err := repro.Sweep(repro.SweepConfig{
-		Design:       d,
-		Base:         base,
-		Freqs:        freqs,
-		Seeds:        seeds,
-		Workers:      parallel,
-		JournalDir:   journalDir,
-		StageTimeout: stageTimeout,
+		Design:           d,
+		Base:             base,
+		Freqs:            freqs,
+		Seeds:            seeds,
+		Workers:          cfg.parallel,
+		JournalDir:       cfg.journalDir,
+		StageTimeout:     cfg.stageTimeout,
+		Speculate:        cfg.speculate,
+		SpecTolerancePct: cfg.specTol,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep failed: %v\n", err)
 		return 1
 	}
-	if journalDir != "" {
+	if cfg.journalDir != "" {
 		rec := res.Recovery
 		fmt.Fprintf(os.Stderr, "journal: %d segments, %d records recovered, %d torn tails (%d bytes dropped)\n",
 			rec.Segments, rec.Records, rec.TornTails, rec.TornBytes)
@@ -165,6 +200,12 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOpti
 		if res.JournalErr != nil {
 			fmt.Fprintf(os.Stderr, "journal degraded: %v\n", res.JournalErr)
 		}
+	}
+	if cfg.speculate {
+		// Speculation accounting: chain and predictor counters mirrored
+		// by the campaign (spec.chain.*, spec.stage.*, predict.*).
+		metrics.Default.WritePrefix(os.Stderr, "spec.")
+		metrics.Default.WritePrefix(os.Stderr, "predict.")
 	}
 	res.Print(os.Stdout)
 	return 0

@@ -109,6 +109,16 @@ type Config struct {
 	// run (see flow.RunConfig.StageTimeout). A reaped stage surfaces as
 	// a FaultHang fault and follows the normal retry path.
 	StageTimeout time.Duration
+	// Oracle enables speculative stage overlap for points whose
+	// Options.Speculate asks for it: one oracle is shared by every run
+	// in the campaign, observing completed stages and serving
+	// predictions (see flow.SpecOracle, internal/spec). nil leaves
+	// speculation off regardless of point options.
+	Oracle flow.SpecOracle
+	// SpecWorkers caps concurrent speculative chains across the whole
+	// campaign (0 = one per CPU). Speculative work only ever takes a
+	// free slot, never queues, so it cannot delay real stages.
+	SpecWorkers int
 }
 
 // Engine executes campaigns. The zero-value Engine is not usable; build
@@ -121,6 +131,8 @@ type Engine struct {
 	faults       *flow.FaultInjector
 	journal      *Journal
 	stageTimeout time.Duration
+	oracle       flow.SpecOracle
+	specSlots    *sched.Slots
 }
 
 // New creates an engine. A journaled engine needs the memo cache (the
@@ -138,9 +150,14 @@ func New(cfg Config) *Engine {
 	if cache == nil && cfg.Journal != nil {
 		cache = NewCache(0)
 	}
+	var slots *sched.Slots
+	if cfg.Oracle != nil {
+		slots = sched.NewSlots(Workers(cfg.SpecWorkers))
+	}
 	return &Engine{
 		pool: pool, cache: cache, obs: cfg.Observer, retry: cfg.Retry,
 		faults: cfg.Faults, journal: cfg.Journal, stageTimeout: cfg.StageTimeout,
+		oracle: cfg.Oracle, specSlots: slots,
 	}
 }
 
@@ -310,30 +327,38 @@ func (e *Engine) runOnce(ctx context.Context, p Point, attempt int) (*flow.Resul
 	if e.cache == nil || p.DesignKey == "" {
 		// Uncached points are also unjournaled: without a design key
 		// there is no identity to resume them under.
-		res, err := flow.RunCfg(ctx, p.Design, p.Options, flow.RunConfig{
+		var spec *flow.SpecStats
+		rcfg := flow.RunConfig{
 			Observer: e.obs, Faults: e.faults, Attempt: attempt, StageTimeout: e.stageTimeout,
-		})
+		}
+		e.armSpeculation(&rcfg, &spec)
+		res, err := flow.RunCfg(ctx, p.Design, p.Options, rcfg)
 		if err != nil {
 			return nil, false, err
 		}
 		e.countStopped(res)
+		countSpec(spec)
 		return res, false, nil
 	}
 	key := p.cacheKey()
 	res, steps, hit, err := e.cache.DoRecorded(key, func() (*flow.Result, []flow.StepRecord, error) {
 		rec := &recordingObserver{next: e.obs}
-		res, err := flow.RunCfg(ctx, p.Design, p.Options, flow.RunConfig{
+		var spec *flow.SpecStats
+		rcfg := flow.RunConfig{
 			Observer: rec, Faults: e.faults, Attempt: attempt, StageTimeout: e.stageTimeout,
-		})
+		}
+		e.armSpeculation(&rcfg, &spec)
+		res, err := flow.RunCfg(ctx, p.Design, p.Options, rcfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		e.countStopped(res)
+		countSpec(spec)
 		if e.journal != nil {
 			// Journal inside the compute path: only ever-successful,
 			// never-faulted results reach here, exactly once per key (a
 			// cache hit never recomputes, so it can never re-append).
-			e.journal.record(key, res, rec.steps)
+			e.journal.record(key, res, rec.steps, spec)
 		}
 		return res, rec.steps, nil
 	})
@@ -363,6 +388,59 @@ func (e *Engine) countStopped(res *flow.Result) {
 	if saved := res.Route.IterationsBudget - res.Route.IterationsRun; saved > 0 {
 		metrics.Add("campaign.doomed.saved_iters", int64(saved))
 	}
+}
+
+// armSpeculation attaches the campaign's shared oracle and speculative
+// worker slots to one flow run and routes its SpecStats report into
+// *out. No-op when the engine has no oracle — the run stays purely
+// sequential. The report only fires for successful runs, which is the
+// same population the journal records, so counters replayed at resume
+// match counters counted live.
+func (e *Engine) armSpeculation(rcfg *flow.RunConfig, out **flow.SpecStats) {
+	if e.oracle == nil {
+		return
+	}
+	rcfg.Oracle = e.oracle
+	rcfg.SpecSlots = e.specSlots
+	rcfg.SpecReport = func(st flow.SpecStats) { *out = &st }
+}
+
+// countSpec mirrors one run's speculation outcome into the process-wide
+// counters and predictor-accuracy histograms (flow cannot: metrics
+// depends on it). nil means the run did not speculate.
+func countSpec(st *flow.SpecStats) {
+	if st == nil {
+		return
+	}
+	if st.Launched > 0 {
+		metrics.Add("spec.chain.launched", int64(st.Launched))
+	}
+	if st.Skipped > 0 {
+		metrics.Add("spec.chain.skipped", int64(st.Skipped))
+	}
+	if st.Committed > 0 {
+		metrics.Add("spec.stage.committed", int64(st.Committed))
+	}
+	if st.Discarded > 0 {
+		metrics.Add("spec.chain.discarded", int64(st.Discarded))
+	}
+	countJudgment("synth", st.Synth)
+	countJudgment("place", st.Place)
+}
+
+// countJudgment counts one stage prediction as hit or miss and feeds its
+// tolerance error into the per-stage accuracy histogram
+// (predict.tolerr.<stage>, rendered by /debug/hist).
+func countJudgment(stage string, j flow.SpecJudgment) {
+	if !j.Predicted {
+		return
+	}
+	if j.Hit {
+		metrics.Add("predict."+stage+".hit", 1)
+	} else {
+		metrics.Add("predict."+stage+".miss", 1)
+	}
+	metrics.Observe("predict.tolerr."+stage, j.ErrPct)
 }
 
 // countFault classifies a retryable failure into the fault counters.

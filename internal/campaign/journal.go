@@ -28,6 +28,12 @@ type Entry struct {
 	Key   string
 	Res   *flow.Result
 	Steps []flow.StepRecord
+	// Spec is the run's speculation outcome (nil if it did not
+	// speculate). Replaying it at resume re-counts the same predictor
+	// hit/miss counters the live run counted, so a resumed campaign's
+	// accounting matches an uninterrupted one. Journals written before
+	// speculation existed decode with Spec nil.
+	Spec *flow.SpecStats
 }
 
 // Journal is the campaign-facing wrapper over the durable log: it
@@ -81,7 +87,7 @@ func (j *Journal) Stats() journal.RecoveryStats { return j.log.Stats() }
 // deduplicated: a key already journaled (or replayed at resume) is
 // skipped, and an append failure is remembered in Err but does not fail
 // the campaign.
-func (j *Journal) record(key string, res *flow.Result, steps []flow.StepRecord) {
+func (j *Journal) record(key string, res *flow.Result, steps []flow.StepRecord, spec *flow.SpecStats) {
 	sp := trace.Begin("campaign.journal.append")
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -91,7 +97,7 @@ func (j *Journal) record(key string, res *flow.Result, steps []flow.StepRecord) 
 		return
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(Entry{Key: key, Res: res, Steps: steps}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(Entry{Key: key, Res: res, Steps: steps, Spec: spec}); err != nil {
 		j.fail(fmt.Errorf("campaign: encode journal entry: %w", err))
 		sp.EndWith(trace.Failed)
 		return
@@ -194,6 +200,11 @@ func (e *Engine) Replay(pts []Point) (ResumeStats, error) {
 		e.journal.markSeen(ent.Key)
 		st.Replayed++
 		metrics.Add("campaign.journal.replayed", 1)
+		// Re-count the journaled speculation outcome: the resumed
+		// campaign's predictor accounting must match the uninterrupted
+		// run's, and the replayed point will never recompute to count
+		// itself.
+		countSpec(ent.Spec)
 	}
 	return st, nil
 }

@@ -65,6 +65,13 @@ type Options struct {
 	// implemented netlist, so experiments opt in explicitly.
 	RecoverArea     bool
 	RecoverMarginPs float64 // slack floor for recovery (default 5 ps)
+
+	// Speculate enables speculative stage overlap: downstream stages
+	// launched on predicted upstream artifacts while the real stage is
+	// still running, committed only when the prediction proves exact
+	// (see speculate.go). Part of the cache key; committed results are
+	// byte-identical to the non-speculative reference.
+	Speculate SpecConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -74,7 +81,52 @@ func (o Options) withDefaults() Options {
 	if o.PlaceMoves <= 0 {
 		o.PlaceMoves = 60
 	}
+	if o.Speculate.Enabled {
+		if o.Speculate.TolerancePct <= 0 {
+			o.Speculate.TolerancePct = 1
+		}
+	} else {
+		// A disabled config carries no knobs: all non-speculative runs
+		// share one canonical key.
+		o.Speculate = SpecConfig{}
+	}
 	return o
+}
+
+// Stage option builders, shared verbatim by the real stage bodies and
+// the speculative chains so the two paths can never drift apart.
+
+func placeOptions(o Options, n *netlist.Netlist) place.Options {
+	return place.Options{
+		Seed:        subSeed(o.Seed, 2),
+		Moves:       o.PlaceMoves * n.NumCells(),
+		Utilization: o.Utilization,
+		Partitions:  o.Partitions,
+		Workers:     o.PlaceWorkers,
+	}
+}
+
+func ctsOptions(o Options) cts.Options {
+	return cts.Options{Seed: subSeed(o.Seed, 3)}
+}
+
+func grouteOptions(o Options) route.GlobalOptions {
+	return route.GlobalOptions{
+		Seed:          subSeed(o.Seed, 4),
+		TracksPerEdge: o.TracksPerEdge,
+		Tiles:         o.RouteTiles,
+		Workers:       o.RouteWorkers,
+	}
+}
+
+func drouteOptions(o Options, hook route.IterHook) route.DetailOptions {
+	return route.DetailOptions{
+		Iterations: o.RouteIters,
+		Effort:     o.RouteEffort,
+		Seed:       subSeed(o.Seed, 5),
+		StopAfter:  o.StopRouteAfter,
+		IterHook:   hook,
+	}
 }
 
 // Result is the outcome of one flow run.
@@ -212,6 +264,18 @@ type RunConfig struct {
 	// wedged tool process to get its license back. Zero disables the
 	// watchdog and stages run inline on the caller's goroutine.
 	StageTimeout time.Duration
+
+	// Oracle supplies (and learns) upstream-stage predictions for
+	// speculative overlap. Observed on every run when non-nil;
+	// consulted for predictions only when Options.Speculate.Enabled.
+	Oracle SpecOracle
+	// SpecSlots caps concurrent speculative chains process-wide.
+	// Speculation only ever takes a free slot — nil means unlimited.
+	SpecSlots *sched.Slots
+	// SpecReport, when non-nil, receives the run's speculation
+	// accounting after a successful (or STOPped) run. Aborted runs
+	// report nothing, mirroring what campaigns cache and journal.
+	SpecReport func(SpecStats)
 }
 
 // endStageSpan closes a stage span with the outcome the stage's error
@@ -288,6 +352,33 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 			})
 		}
 	}
+	// The live doomed-run hook (consulted between detailed-routing
+	// rip-up passes); resolved before speculation launches because a
+	// supervised run must keep detailed routing on the real path.
+	var hook route.IterHook
+	if sup, ok := obs.(RouteSupervisor); ok {
+		hook = func(iter int, drvs []int) route.IterAction {
+			return sup.RouteIter(design.Name, opts.Seed, iter, drvs)
+		}
+	}
+	// Speculation: draw predictions and launch downstream chains before
+	// the first real stage, so the overlap covers synth and place. The
+	// oracle observes every run (learning is free); predictions are only
+	// consulted when the option point asks for them.
+	var oracleFP uint64
+	if rc.Oracle != nil {
+		oracleFP = design.Fingerprint()
+	}
+	spec := rc.newSpecRun(ctx, opts, oracleFP)
+	if spec != nil {
+		spec.launch(hook != nil)
+		defer spec.close()
+	}
+	defer func() {
+		if spec != nil && rc.SpecReport != nil && err == nil && res != nil {
+			rc.SpecReport(spec.stats)
+		}
+	}()
 	// stage gates entry (a dead context or an injected fault kills the
 	// run at the boundary, where a real flow manager would reap the tool
 	// process and release its license), runs body under the watchdog,
@@ -366,18 +457,40 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 	}); err != nil {
 		return res, err
 	}
+	spec.judgeSynth(syn)
+	if rc.Oracle != nil && ctx.Err() == nil {
+		rc.Oracle.ObserveSynth(oracleFP, opts, syn)
+	}
 
-	// Placement.
+	// Provenance of the placement this run is about to compute: the
+	// committed post-synth fingerprint (coordinates still zero) plus the
+	// exact annealer options. Computed once, pre-place, and used both to
+	// verify directly-committable predictions and to stamp the oracle's
+	// observation.
+	var prov PlaceProvenance
+	if rc.Oracle != nil {
+		prov = placeProv(n, opts)
+	}
+
+	// Placement, strongest adoption first. A verbatim place prediction
+	// whose provenance equals this run's commits outright — determinism
+	// makes it certain, so the dominant stage is skipped, not just
+	// overlapped. Failing that, a judged-exact synth prediction means
+	// the speculative placement (started before synthesis) ran on
+	// identical content: the stage body then just waits for it and
+	// copies its coordinates into the real netlist instead of annealing
+	// again.
 	var pl place.Result
-	if err := stage("place", func(context.Context) {
-		pl = place.Place(n, place.Options{
-			Seed:        subSeed(opts.Seed, 2),
-			Moves:       opts.PlaceMoves * n.NumCells(),
-			Utilization: opts.Utilization,
-			Partitions:  opts.Partitions,
-			Workers:     opts.PlaceWorkers,
-		})
-	}, func() {
+	placeBody := func(context.Context) {
+		pl = place.Place(n, placeOptions(opts, n))
+	}
+	switch {
+	case spec.adoptPredicted(prov):
+		placeBody = spec.predictedPlaceBody(&pl, n)
+	case spec.adoptPlace():
+		placeBody = spec.placeBody(&pl, n)
+	}
+	if err := stage("place", placeBody, func() {
 		res.Place = pl
 		res.RuntimeProxy += float64(pl.RuntimeProxy) / 50000
 		emit("place", map[string]float64{
@@ -388,12 +501,26 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 	}); err != nil {
 		return res, err
 	}
+	spec.judgePlace(pl, n)
+	// The ctx guard matters on the speculative path: a run cancelled
+	// while waiting for its speculative placement commits a zero stage
+	// result before the next boundary aborts it, and the oracle must not
+	// learn that half-built artifact as this point's truth.
+	if rc.Oracle != nil && ctx.Err() == nil {
+		rc.Oracle.ObservePlace(oracleFP, opts, pl, n, prov)
+	}
 
-	// Clock-tree synthesis.
+	// Clock-tree synthesis. A judged-exact place prediction unlocks the
+	// whole speculative downstream chain; each of the next three stages
+	// adopts its precomputed result as it lands.
 	var ct cts.Result
-	if err := stage("cts", func(context.Context) {
-		ct = cts.Synthesize(n, cts.Options{Seed: subSeed(opts.Seed, 3)})
-	}, func() {
+	ctsBody := func(context.Context) {
+		ct = cts.Synthesize(n, ctsOptions(opts))
+	}
+	if spec.adoptChain() {
+		ctsBody = spec.ctsBody(&ct, n)
+	}
+	if err := stage("cts", ctsBody, func() {
 		res.CTS = ct
 		res.RuntimeProxy += float64(ct.Buffers) / 100
 		emit("cts", map[string]float64{
@@ -407,14 +534,13 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 
 	// Global routing.
 	var gr *route.GlobalResult
-	if err := stage("groute", func(context.Context) {
-		gr = route.GlobalRoute(n, route.GlobalOptions{
-			Seed:          subSeed(opts.Seed, 4),
-			TracksPerEdge: opts.TracksPerEdge,
-			Tiles:         opts.RouteTiles,
-			Workers:       opts.RouteWorkers,
-		})
-	}, func() {
+	grouteBody := func(context.Context) {
+		gr = route.GlobalRoute(n, grouteOptions(opts))
+	}
+	if spec.adoptChain() {
+		grouteBody = spec.grouteBody(&gr, n)
+	}
+	if err := stage("groute", grouteBody, func() {
 		res.Global = gr
 		res.RuntimeProxy += gr.WirelengthUm / 5000
 		emit("groute", map[string]float64{
@@ -428,28 +554,23 @@ func RunCfg(ctx context.Context, design *netlist.Netlist, opts Options, rc RunCo
 		return res, err
 	}
 
-	// Detailed routing, with the live doomed-run hook when the observer
-	// supervises. The hook sees iterations as they complete; its STOP
-	// truncates the run in place, which is where the compute reclaim of
-	// Figs. 9-10 actually happens. The body routes under the stage
-	// context so a watchdog reap aborts the router within one rip-up
-	// pass instead of waiting out the iteration budget.
-	var hook route.IterHook
-	if sup, ok := obs.(RouteSupervisor); ok {
-		hook = func(iter int, drvs []int) route.IterAction {
-			return sup.RouteIter(design.Name, opts.Seed, iter, drvs)
-		}
-	}
+	// Detailed routing, with the live doomed-run hook (resolved above)
+	// when the observer supervises. The hook sees iterations as they
+	// complete; its STOP truncates the run in place, which is where the
+	// compute reclaim of Figs. 9-10 actually happens. The body routes
+	// under the stage context so a watchdog reap aborts the router
+	// within one rip-up pass instead of waiting out the iteration
+	// budget. A speculative chain never routes under supervision, so on
+	// supervised runs the adoption body always computes here — with the
+	// hook.
 	var dr *route.DetailResult
-	if err := stage("droute", func(sctx context.Context) {
-		dr = route.DetailRouteCtx(sctx, gr, route.DetailOptions{
-			Iterations: opts.RouteIters,
-			Effort:     opts.RouteEffort,
-			Seed:       subSeed(opts.Seed, 5),
-			StopAfter:  opts.StopRouteAfter,
-			IterHook:   hook,
-		})
-	}, func() {
+	drouteBody := func(sctx context.Context) {
+		dr = route.DetailRouteCtx(sctx, gr, drouteOptions(opts, hook))
+	}
+	if spec.adoptChain() {
+		drouteBody = spec.drouteBody(&dr, &gr, hook)
+	}
+	if err := stage("droute", drouteBody, func() {
 		res.Route = dr
 		res.RuntimeProxy += dr.RuntimeProxy
 		series := make([]float64, len(dr.DRVs))

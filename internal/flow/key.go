@@ -14,12 +14,16 @@ func (o Options) Key() string {
 	o = o.withDefaults()
 	// RouteWorkers is deliberately absent: the sharded router's result
 	// is identical at every worker count, so it is not a QOR knob.
-	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d rec=%t rm=%g pw=%d rt=%d",
+	// Speculation is present even though committed results match the
+	// non-speculative reference: the config is an input of the run
+	// (Result.Options records it) and campaigns must not serve a point
+	// configured one way from a cache entry computed the other.
+	return fmt.Sprintf("f=%g seed=%d se=%d mf=%d u=%g pm=%d part=%d tpe=%g re=%d ri=%d dr=%g stop=%d rec=%t rm=%g pw=%d rt=%d spec=%t stol=%g",
 		o.TargetFreqGHz, o.Seed,
 		o.SynthEffort, o.MaxFanout, o.Utilization, o.PlaceMoves,
 		o.Partitions, o.TracksPerEdge, o.RouteEffort, o.RouteIters,
 		o.DeratePct, o.StopRouteAfter, o.RecoverArea, o.RecoverMarginPs,
-		o.PlaceWorkers, o.RouteTiles)
+		o.PlaceWorkers, o.RouteTiles, o.Speculate.Enabled, o.Speculate.TolerancePct)
 }
 
 // Hash returns the FNV-1a hash of Key, for shard selection and compact

@@ -1,0 +1,570 @@
+// Speculative stage overlap: while a real upstream stage (synth, place)
+// is still running, the downstream stage (place, the cts→groute→droute
+// chain) is launched concurrently on a *predicted* upstream artifact;
+// when the real result lands it is judged against the prediction and
+// the speculative work is either committed or discarded.
+//
+// Determinism is non-negotiable and holds by construction:
+//
+//   - A speculative stage is adopted only when the predicted upstream
+//     artifact's content fingerprint equals the real one's. Every stage
+//     is a pure function of (netlist content, Options), so work computed
+//     from a fingerprint-equal artifact is byte-identical to what the
+//     real stage would have produced — commit changes wall-clock, never
+//     the Result.
+//   - The commit decision itself is a pure function of (prediction,
+//     real stage result, Options.Speculate) — never of timing, worker
+//     count, or which goroutine finished first. A prediction that is
+//     within scalar tolerance but not artifact-exact is a "near hit":
+//     recorded in the accuracy histograms, still discarded.
+//   - On a miss the downstream stage reruns on the true upstream result
+//     through the exact same stage() helper as a non-speculative run,
+//     so fault coins, watchdog deadlines, emit order and commit order
+//     are identical either way.
+//
+// Speculative work only ever takes a free sched.Slots slot (never
+// queues) and so cannot delay the real stages it is trying to hide
+// behind.
+package flow
+
+import (
+	"context"
+
+	"repro/internal/cts"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sched"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// SpecConfig is the speculation knob of an option point. It is part of
+// the cache key: a speculative and a non-speculative run commit
+// identical stage results, but the configuration is still an input a
+// campaign must not conflate (Result.Options records it).
+type SpecConfig struct {
+	// Enabled turns speculative stage overlap on. The run also needs an
+	// oracle (RunConfig.Oracle); without one the flag is inert.
+	Enabled bool
+	// TolerancePct is the commit tolerance on the predicted stage
+	// scalars (relative error, percent; default 1). Commit additionally
+	// requires artifact-fingerprint equality — tolerance is the policy
+	// pre-filter that classifies near hits for the accuracy histograms
+	// and lets operators study looser predictors without risking QoR.
+	TolerancePct float64
+}
+
+// SynthPrediction is an oracle's guess at a run's synthesis outcome.
+// Synth.Netlist is the predicted post-synth artifact; it is owned by
+// the oracle and treated as read-only (the engine clones before
+// mutating).
+type SynthPrediction struct {
+	Synth synth.Result
+	// ID names the prediction's provenance (predictor version + source
+	// key) for spans and journaled hit/miss accounting.
+	ID string
+}
+
+// PlacePrediction is an oracle's guess at a run's placement outcome:
+// the predicted placed artifact plus the stage scalars.
+type PlacePrediction struct {
+	Place place.Result
+	// Netlist is the predicted placed artifact (oracle-owned,
+	// read-only).
+	Netlist *netlist.Netlist
+	ID      string
+	// Prov, when nonzero, asserts that (Place, Netlist) is a verbatim
+	// observation of a real placement annealed from these upstream
+	// inputs, stored unmodified. The engine verifies applicability —
+	// provenance equality against the committed synth output — before
+	// committing the pair outright without re-annealing; the pair's
+	// integrity under a nonzero Prov is the oracle's contract.
+	// Estimate-grade predictions (learned models, cross-seed family
+	// means) must leave Prov zero: they then only seed speculative
+	// recomputation and the accuracy counters, never a direct commit.
+	Prov PlaceProvenance
+}
+
+// PlaceProvenance pins the inputs a placed artifact was derived from.
+// Placement is a pure function of (post-synth netlist content, annealer
+// options), so two equal provenances name one placement.
+type PlaceProvenance struct {
+	// UpstreamFP is the content fingerprint of the post-synth netlist
+	// the placement was annealed from (coordinates still zero, so the
+	// fingerprint is a pure pre-place identity).
+	UpstreamFP uint64
+	// Opts are the exact annealer options, with Workers normalized to
+	// its engine-selection bit: the parallel annealer is bit-invariant
+	// across worker counts (pinned by the place package's invariance
+	// tests), so only serial-vs-parallel matters for the result.
+	Opts place.Options
+}
+
+// placeProv computes the provenance of the placement the flow would run
+// on n under o.
+func placeProv(n *netlist.Netlist, o Options) PlaceProvenance {
+	po := placeOptions(o, n)
+	if po.Workers > 0 {
+		po.Workers = 1
+	}
+	return PlaceProvenance{UpstreamFP: n.Fingerprint(), Opts: po}
+}
+
+// SpecOracle supplies upstream-stage predictions and learns from real
+// results. Implementations must be safe for concurrent use: a campaign
+// shares one oracle across every in-flight run. Observe methods receive
+// live netlists that later stages will mutate — an oracle that retains
+// an artifact must clone it.
+//
+// The designFP argument is the input design's content fingerprint, so
+// one oracle can serve campaigns over many designs without collisions.
+type SpecOracle interface {
+	// Version identifies the predictor build; it participates in
+	// prediction IDs so journaled hit/miss provenance survives predictor
+	// upgrades.
+	Version() string
+	PredictSynth(designFP uint64, opts Options) (SynthPrediction, bool)
+	PredictPlace(designFP uint64, opts Options) (PlacePrediction, bool)
+	ObserveSynth(designFP uint64, opts Options, res synth.Result)
+	// ObservePlace receives the run's placement along with its
+	// provenance (the post-synth fingerprint and annealer options the
+	// flow computed it under), so a memo oracle can serve the pair back
+	// as a verbatim, directly-committable prediction.
+	ObservePlace(designFP uint64, opts Options, res place.Result, placed *netlist.Netlist, prov PlaceProvenance)
+}
+
+// SpecJudgment is the verdict on one upstream prediction — a pure
+// function of (prediction, real result, tolerance), computed on the
+// caller's goroutine at stage commit.
+type SpecJudgment struct {
+	Predicted bool    // the oracle offered a prediction
+	Launched  bool    // a speculative chain actually ran on it
+	Hit       bool    // committed: Exact && ErrPct <= tolerance
+	Exact     bool    // predicted artifact fingerprint == real artifact
+	ErrPct    float64 // worst relative scalar error, percent
+	ID        string  // prediction provenance
+}
+
+// SpecStats is one run's speculation accounting, reported through
+// RunConfig.SpecReport and journaled by the campaign so a resumed
+// campaign replays the same hit/miss counts. It is bookkeeping about
+// wall-clock, deliberately kept out of Result: committed results stay
+// byte-identical to the non-speculative reference.
+type SpecStats struct {
+	Version   string       // oracle version the run consulted
+	Launched  int          // speculative chains started
+	Skipped   int          // predictions dropped for want of a free slot
+	Committed int          // downstream stages adopted from speculation
+	Discarded int          // launched chains judged wrong and dropped
+	Synth     SpecJudgment // prediction of the synth output (drives spec place)
+	Place     SpecJudgment // prediction of the place output (drives spec cts/route)
+}
+
+// relErrPct is the relative error of pred vs real in percent, with a
+// scale floor so near-zero reference values do not explode the ratio.
+func relErrPct(pred, real, floor float64) float64 {
+	scale := real
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < floor {
+		scale = floor
+	}
+	d := pred - real
+	if d < 0 {
+		d = -d
+	}
+	return 100 * d / scale
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// judgeSynthPrediction is the pure commit decision for a synthesis
+// prediction: artifact-exact and scalar-close.
+func judgeSynthPrediction(p SynthPrediction, real synth.Result, tolPct float64) (exact bool, errPct float64, hit bool) {
+	exact = p.Synth.Netlist != nil && real.Netlist != nil &&
+		p.Synth.Netlist.Fingerprint() == real.Netlist.Fingerprint()
+	errPct = maxf(relErrPct(p.Synth.AreaUm2, real.AreaUm2, 1),
+		relErrPct(p.Synth.WNSPs, real.WNSPs, 25))
+	return exact, errPct, exact && errPct <= tolPct
+}
+
+// judgePlacePrediction is the pure commit decision for a placement
+// prediction: placed-artifact-exact and HPWL-close.
+func judgePlacePrediction(p PlacePrediction, real place.Result, placed *netlist.Netlist, tolPct float64) (exact bool, errPct float64, hit bool) {
+	exact = p.Netlist != nil && placed != nil &&
+		p.Netlist.Fingerprint() == placed.Fingerprint()
+	errPct = relErrPct(p.Place.HPWLUm, real.HPWLUm, 1)
+	return exact, errPct, exact && errPct <= tolPct
+}
+
+// specPlace is the speculative placement chain: place.PlaceCtx running
+// on a clone of the predicted post-synth artifact, cancellable so a
+// missed synth judgment reaps the anneal instead of letting it burn to
+// completion.
+type specPlace struct {
+	pred   SynthPrediction
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	res    place.Result
+	coords []float64 // place.Snapshot of the speculatively placed clone
+	ok     bool
+}
+
+// specChain is the speculative downstream chain on a clone of the
+// predicted placed artifact: cts, groute and (when unsupervised)
+// droute, each published behind its own done channel so the real flow
+// adopts steps as they land instead of waiting for the whole chain.
+type specChain struct {
+	pred       PlacePrediction
+	supervised bool // live RouteSupervisor present: the chain must not run droute
+	ctx        context.Context
+	cancel     context.CancelFunc
+
+	ctsDone chan struct{}
+	ct      cts.Result
+	ctOK    bool
+
+	grDone chan struct{}
+	gr     *route.GlobalResult
+
+	drDone chan struct{}
+	dr     *route.DetailResult
+}
+
+// specRun owns one flow run's speculative side: the predictions drawn
+// at launch, the background chains, and the judgments made as real
+// stages commit. All judgment fields are written on the run's own
+// goroutine; the chains communicate only through their done channels.
+type specRun struct {
+	cfg    SpecConfig
+	oracle SpecOracle
+	slots  *sched.Slots
+	opts   Options
+	fp     uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	stats SpecStats
+	place *specPlace
+	chain *specChain
+}
+
+// newSpecRun builds the speculative side of a run, or nil when
+// speculation is off (disabled, or no oracle to predict with).
+func (rc RunConfig) newSpecRun(ctx context.Context, opts Options, fp uint64) *specRun {
+	if !opts.Speculate.Enabled || rc.Oracle == nil {
+		return nil
+	}
+	s := &specRun{cfg: opts.Speculate, oracle: rc.Oracle, slots: rc.SpecSlots, opts: opts, fp: fp}
+	s.stats.Version = rc.Oracle.Version()
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	return s
+}
+
+// launch consults the oracle and starts whatever speculative chains a
+// free slot allows. Predictions that find no slot are still judged
+// later (the accuracy counters measure the predictor, not the
+// scheduler) but never adopted. supervised marks a live
+// RouteSupervisor: the speculative chain then skips detailed routing,
+// because a stateful supervisor must see each route iteration exactly
+// once, from the real stage.
+func (s *specRun) launch(supervised bool) {
+	sp, sOK := s.oracle.PredictSynth(s.fp, s.opts)
+	pp, pOK := s.oracle.PredictPlace(s.fp, s.opts)
+	if sOK {
+		s.stats.Synth = SpecJudgment{Predicted: true, ID: sp.ID}
+		s.place = &specPlace{pred: sp}
+		// A verbatim place prediction provably annealed from this same
+		// predicted synth artifact makes the speculative anneal
+		// redundant: if the synth prediction verifies, the placement
+		// commits directly from the prediction (see adoptPredicted); if
+		// it misses, the anneal's output could never be adopted. Either
+		// way, spend no slot and no core on it.
+		redundant := pOK && sp.Synth.Netlist != nil && pp.Prov.UpstreamFP != 0 &&
+			pp.Prov == placeProv(sp.Synth.Netlist, s.opts)
+		if !redundant && sp.Synth.Netlist != nil {
+			if s.slots.TryAcquire() {
+				s.stats.Launched++
+				s.stats.Synth.Launched = true
+				s.place.done = make(chan struct{})
+				s.place.ctx, s.place.cancel = context.WithCancel(s.ctx)
+				go s.runSpecPlace()
+			} else {
+				s.stats.Skipped++
+			}
+		}
+	}
+	if p := pp; pOK {
+		s.stats.Place = SpecJudgment{Predicted: true, ID: p.ID}
+		c := &specChain{pred: p, supervised: supervised}
+		if s.slots.TryAcquire() {
+			s.stats.Launched++
+			s.stats.Place.Launched = true
+			c.ctx, c.cancel = context.WithCancel(s.ctx)
+			c.ctsDone = make(chan struct{})
+			c.grDone = make(chan struct{})
+			c.drDone = make(chan struct{})
+			s.chain = c
+			go s.runSpecChain()
+		} else {
+			s.stats.Skipped++
+			s.chain = c
+		}
+	}
+}
+
+// close cancels any still-running speculative work. Chains not adopted
+// by the time the run returns are abandoned; cancellable steps (spec
+// droute) stop within one iteration, uncancellable ones (spec place)
+// run to completion in the background and release their slot then.
+func (s *specRun) close() {
+	if s != nil {
+		s.cancel()
+	}
+}
+
+func (s *specRun) runSpecPlace() {
+	defer s.slots.Release()
+	defer close(s.place.done)
+	defer s.place.cancel()
+	sp := trace.Begin("spec.launch")
+	sp.Set("stage", "place")
+	sp.Set("pred", s.place.pred.ID)
+	if s.place.ctx.Err() != nil {
+		sp.EndWith(trace.Aborted)
+		return
+	}
+	// Clone: the oracle owns the predicted artifact and other runs may
+	// be speculating from it concurrently.
+	n := s.place.pred.Synth.Netlist.Clone()
+	res, ok := place.PlaceCtx(s.place.ctx, n, placeOptions(s.opts, n))
+	if !ok {
+		// Reaped mid-anneal: the synth judgment missed and cancelled
+		// this chain; the partial placement is garbage.
+		sp.EndWith(trace.Aborted)
+		return
+	}
+	s.place.res = res
+	s.place.coords = place.Snapshot(n)
+	s.place.ok = true
+	sp.End()
+}
+
+func (s *specRun) runSpecChain() {
+	c := s.chain
+	defer s.slots.Release()
+	defer c.cancel()
+	sp := trace.Begin("spec.launch")
+	sp.Set("stage", "route")
+	sp.Set("pred", c.pred.ID)
+	n := c.pred.Netlist.Clone()
+	if c.ctx.Err() == nil {
+		c.ct = cts.Synthesize(n, ctsOptions(s.opts))
+		c.ctOK = true
+	}
+	close(c.ctsDone)
+	if c.ctOK && c.ctx.Err() == nil {
+		c.gr = route.GlobalRoute(n, grouteOptions(s.opts))
+	}
+	close(c.grDone)
+	if c.gr != nil && !c.supervised && c.ctx.Err() == nil {
+		// Speculative detailed routing runs under the chain context so a
+		// misprediction cancels it within one rip-up pass instead of
+		// burning the full iteration budget.
+		dr := route.DetailRouteCtx(c.ctx, c.gr, drouteOptions(s.opts, nil))
+		if !dr.Aborted {
+			c.dr = dr
+		}
+	}
+	close(c.drDone)
+	if c.ctx.Err() != nil {
+		sp.EndWith(trace.Aborted)
+		return
+	}
+	sp.End()
+}
+
+// endJudgeSpan emits the spec.commit / spec.discard span for one
+// judgment — the trace-level record of every speculation verdict.
+func endJudgeSpan(stage string, j SpecJudgment) {
+	name := "spec.discard"
+	if j.Hit {
+		name = "spec.commit"
+	}
+	sp := trace.Begin(name)
+	sp.Set("stage", stage)
+	sp.Set("pred", j.ID)
+	sp.SetFloat("err_pct", j.ErrPct)
+	if j.Launched {
+		sp.Set("launched", "true")
+	} else {
+		sp.Set("launched", "false")
+	}
+	if j.Hit {
+		sp.End()
+		return
+	}
+	sp.EndWith(trace.Aborted)
+}
+
+// judgeSynth grades the synthesis prediction against the real result.
+// Called on the run goroutine right after the synth stage commits; the
+// verdict gates adoption of the speculative placement.
+func (s *specRun) judgeSynth(real synth.Result) {
+	if s == nil || !s.stats.Synth.Predicted {
+		return
+	}
+	j := &s.stats.Synth
+	j.Exact, j.ErrPct, j.Hit = judgeSynthPrediction(s.place.pred, real, s.cfg.TolerancePct)
+	if !j.Hit && j.Launched {
+		// The speculative placement is garbage: reap the anneal now so
+		// it stops contending with the real one instead of burning to
+		// completion in the background.
+		s.stats.Discarded++
+		s.place.cancel()
+	}
+	endJudgeSpan("synth", *j)
+}
+
+// judgePlace grades the placement prediction against the real placed
+// netlist. Called right after the place stage commits (on either the
+// real or the adopted path — the placed content is identical).
+func (s *specRun) judgePlace(real place.Result, placed *netlist.Netlist) {
+	if s == nil || !s.stats.Place.Predicted {
+		return
+	}
+	j := &s.stats.Place
+	j.Exact, j.ErrPct, j.Hit = judgePlacePrediction(s.chain.pred, real, placed, s.cfg.TolerancePct)
+	if !j.Hit && j.Launched {
+		s.stats.Discarded++
+		s.chain.cancel() // reclaim the speculative droute's CPU now
+	}
+	endJudgeSpan("place", *j)
+}
+
+// adoptPredicted reports whether the placement stage can commit the
+// predicted placement outright: the prediction carries verbatim
+// provenance and it equals the provenance of the placement this run is
+// about to compute (post-synth fingerprint of the *committed* synth
+// output plus the exact annealer options). Placement is a pure function
+// of exactly those inputs, so the predicted pair IS the stage's result
+// — no anneal, no slot, no speculative compute. This is the decision
+// that turns a dominant-stage sweep from "hide synth behind a re-anneal"
+// into "skip the anneal", and it is still a pure function of
+// (prediction, real upstream result).
+func (s *specRun) adoptPredicted(prov PlaceProvenance) bool {
+	return s != nil && s.stats.Place.Predicted && s.chain != nil &&
+		s.chain.pred.Netlist != nil && prov.UpstreamFP != 0 &&
+		s.chain.pred.Prov == prov
+}
+
+// predictedPlaceBody commits the predicted placement as the place
+// stage's result: the stored stage scalars verbatim, the stored
+// coordinates copied into the real netlist.
+func (s *specRun) predictedPlaceBody(out *place.Result, n *netlist.Netlist) func(context.Context) {
+	return func(context.Context) {
+		*out = s.chain.pred.Place
+		place.Restore(n, place.Snapshot(s.chain.pred.Netlist))
+		s.stats.Committed++
+	}
+}
+
+// adoptPlace reports whether the placement stage should adopt the
+// speculative result: the synth prediction was judged an exact hit and
+// a speculative placement was actually launched on it.
+func (s *specRun) adoptPlace() bool {
+	return s != nil && s.stats.Synth.Hit && s.stats.Synth.Launched
+}
+
+// adoptChain reports whether the downstream chain should adopt the
+// speculative cts/groute/droute results.
+func (s *specRun) adoptChain() bool {
+	return s != nil && s.stats.Place.Hit && s.stats.Place.Launched
+}
+
+// placeBody returns the placement stage body that waits for the
+// speculative placement and adopts it by copying its coordinates into
+// the real post-synth netlist — the committed netlist is the same
+// object as on the non-speculative path, carrying identical (because
+// fingerprint-equal inputs drive a deterministic annealer) coordinates.
+// If the chain died with the run context, it falls back to computing
+// for real.
+func (s *specRun) placeBody(out *place.Result, n *netlist.Netlist) func(context.Context) {
+	return func(sctx context.Context) {
+		select {
+		case <-s.place.done:
+		case <-sctx.Done():
+			return
+		}
+		if !s.place.ok {
+			*out = place.Place(n, placeOptions(s.opts, n))
+			return
+		}
+		*out = s.place.res
+		place.Restore(n, s.place.coords)
+		s.stats.Committed++
+	}
+}
+
+// ctsBody adopts the speculative clock tree (or recomputes if the
+// chain bailed out with the run context).
+func (s *specRun) ctsBody(out *cts.Result, n *netlist.Netlist) func(context.Context) {
+	return func(sctx context.Context) {
+		select {
+		case <-s.chain.ctsDone:
+		case <-sctx.Done():
+			return
+		}
+		if !s.chain.ctOK {
+			*out = cts.Synthesize(n, ctsOptions(s.opts))
+			return
+		}
+		*out = s.chain.ct
+		s.stats.Committed++
+	}
+}
+
+// grouteBody adopts the speculative global route.
+func (s *specRun) grouteBody(out **route.GlobalResult, n *netlist.Netlist) func(context.Context) {
+	return func(sctx context.Context) {
+		select {
+		case <-s.chain.grDone:
+		case <-sctx.Done():
+			return
+		}
+		if s.chain.gr == nil {
+			*out = route.GlobalRoute(n, grouteOptions(s.opts))
+			return
+		}
+		*out = s.chain.gr
+		s.stats.Committed++
+	}
+}
+
+// drouteBody adopts the speculative detailed route. When the chain
+// skipped droute (live supervision, or an abort) it computes for real —
+// with the supervisor hook, which the speculative path must never see.
+func (s *specRun) drouteBody(out **route.DetailResult, gr **route.GlobalResult, hook route.IterHook) func(context.Context) {
+	return func(sctx context.Context) {
+		select {
+		case <-s.chain.drDone:
+		case <-sctx.Done():
+			return
+		}
+		if s.chain.dr == nil {
+			*out = route.DetailRouteCtx(sctx, *gr, drouteOptions(s.opts, hook))
+			return
+		}
+		*out = s.chain.dr
+		s.stats.Committed++
+	}
+}

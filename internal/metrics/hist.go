@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// valueBuckets is the bucket count of a value histogram: bucket k holds
+// values in [2^(k-21), 2^(k-20)) (bucket 0 is < 2^-20, including zero),
+// so 44 log-spaced buckets span ~1e-6 to ~8e6 — wide enough for the
+// percentage-scale observations (predictor tolerance errors, ratios)
+// this registry exists for, with the same fixed-memory/atomic-counter
+// construction as the tracer's latency histograms.
+const valueBuckets = 44
+
+// ValueHist is one log-bucketed histogram of non-negative float64
+// samples. Observe is a couple of atomic operations; snapshots are
+// never torn within a bucket, merely up to one observation apart
+// between buckets.
+type ValueHist struct {
+	counts [valueBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits
+}
+
+// valueBucketOf maps a sample to its bucket index.
+func valueBucketOf(v float64) int {
+	if v < math.Ldexp(1, -20) || math.IsNaN(v) {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(v))) + 21
+	if b < 0 {
+		b = 0
+	}
+	if b >= valueBuckets {
+		b = valueBuckets - 1
+	}
+	return b
+}
+
+// valueBucketUpper returns the exclusive upper bound of bucket b.
+func valueBucketUpper(b int) float64 {
+	return math.Ldexp(1, b-20)
+}
+
+// Observe records one sample. Negative samples are clamped to zero —
+// the histograms hold magnitudes (errors, ratios), not signed values.
+func (h *ValueHist) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.counts[valueBucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ValueSnapshot is a consistent-enough read of one histogram.
+type ValueSnapshot struct {
+	Name  string
+	Count int64
+	Mean  float64
+	Max   float64
+	// P50/P90/P99 are bucket upper bounds — conservative estimates, the
+	// same convention as the tracer's latency quantiles.
+	P50, P90, P99 float64
+}
+
+// Snapshot reads the histogram.
+func (h *ValueHist) Snapshot(name string) ValueSnapshot {
+	s := ValueSnapshot{Name: name, Count: h.count.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = math.Float64frombits(h.sum.Load()) / float64(s.Count)
+	s.Max = math.Float64frombits(h.max.Load())
+	var counts [valueBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) float64 {
+		target := int64(math.Ceil(q * float64(total)))
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				return valueBucketUpper(i)
+			}
+		}
+		return valueBucketUpper(valueBuckets - 1)
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	return s
+}
+
+// Hists is a registry of named value histograms, the distribution-
+// shaped sibling of Counters: counters count events, histograms hold
+// how big they were. Naming follows the same subsystem.noun scheme
+// (e.g. predict.tolerr.synth).
+type Hists struct {
+	mu sync.RWMutex
+	m  map[string]*ValueHist
+}
+
+// NewHists creates an empty registry.
+func NewHists() *Hists {
+	return &Hists{m: map[string]*ValueHist{}}
+}
+
+// Hist returns the named histogram, registering it on first use.
+func (h *Hists) Hist(name string) *ValueHist {
+	h.mu.RLock()
+	v, ok := h.m[name]
+	h.mu.RUnlock()
+	if ok {
+		return v
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok = h.m[name]; !ok {
+		v = &ValueHist{}
+		h.m[name] = v
+	}
+	return v
+}
+
+// Observe records one sample into the named histogram.
+func (h *Hists) Observe(name string, v float64) { h.Hist(name).Observe(v) }
+
+// Snapshots returns every histogram's snapshot, sorted by name.
+func (h *Hists) Snapshots() []ValueSnapshot {
+	h.mu.RLock()
+	names := make([]string, 0, len(h.m))
+	for k := range h.m {
+		names = append(names, k)
+	}
+	h.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]ValueSnapshot, 0, len(names))
+	for _, name := range names {
+		out = append(out, h.Hist(name).Snapshot(name))
+	}
+	return out
+}
+
+// Write renders every histogram as one plain-text line, the value-
+// domain counterpart of the tracer's latency lines.
+func (h *Hists) Write(w io.Writer) {
+	for _, s := range h.Snapshots() {
+		fmt.Fprintf(w, "%s count=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g\n",
+			s.Name, s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+	}
+}
+
+// DefaultHists is the process-wide histogram registry, the Default
+// counterpart for distributions.
+var DefaultHists = NewHists()
+
+// Observe records a sample into the Default histogram registry.
+func Observe(name string, v float64) { DefaultHists.Observe(name, v) }

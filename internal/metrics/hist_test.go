@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestValueHistBasics(t *testing.T) {
+	var h ValueHist
+	for _, v := range []float64{0, 0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot("x")
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if want := 103.5 / 5; math.Abs(s.Mean-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g", s.Mean, want)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %g, want 100", s.Max)
+	}
+	// Quantiles are bucket upper bounds: the median sample 1 lies in
+	// bucket [1, 2), reported as its upper bound 2.
+	if s.P50 != 2 {
+		t.Errorf("p50 = %g, want 2", s.P50)
+	}
+	if s.P99 < 100 {
+		t.Errorf("p99 = %g, want >= max", s.P99)
+	}
+}
+
+func TestValueHistClampsPathologicalSamples(t *testing.T) {
+	var h ValueHist
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(1e300)
+	s := h.Snapshot("x")
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.P50 != valueBucketUpper(0) {
+		t.Errorf("negative/NaN samples should land in bucket 0; p50 = %g", s.P50)
+	}
+}
+
+func TestHistsRegistryWrite(t *testing.T) {
+	reg := NewHists()
+	reg.Observe("predict.tolerr.synth", 0.2)
+	reg.Observe("predict.tolerr.synth", 3)
+	reg.Observe("predict.tolerr.place", 1)
+	var b strings.Builder
+	reg.Write(&b)
+	out := b.String()
+	if !strings.Contains(out, "predict.tolerr.synth count=2") {
+		t.Errorf("missing synth line:\n%s", out)
+	}
+	// Sorted by name: place before synth.
+	if strings.Index(out, "predict.tolerr.place") > strings.Index(out, "predict.tolerr.synth") {
+		t.Errorf("histogram lines not sorted:\n%s", out)
+	}
+}
+
+func TestValueHistConcurrent(t *testing.T) {
+	var h ValueHist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1020; i++ { // 60 whole cycles of 0..16
+				h.Observe(float64(i % 17))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot("x")
+	if s.Count != 8160 {
+		t.Fatalf("count = %d, want 8160", s.Count)
+	}
+	if s.Max != 16 {
+		t.Errorf("max = %g, want 16", s.Max)
+	}
+	var want float64
+	for i := 0; i < 17; i++ {
+		want += float64(i)
+	}
+	want /= 17
+	if math.Abs(s.Mean-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g (CAS-accumulated sum lost updates?)", s.Mean, want)
+	}
+}

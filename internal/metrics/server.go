@@ -164,11 +164,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics is the plain-text exposition endpoint: every counter
 // ("name value" per line, server registry first, then the process-wide
-// Default) followed by the armed tracer's latency histograms.
+// Default), the process-wide value histograms (predictor tolerance
+// errors and friends), and finally the armed tracer's latency
+// histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.Reg.Write(w)
 	Default.Write(w)
+	DefaultHists.Write(w)
 	if t := s.tracer(); t != nil {
 		t.Histograms().Write(w)
 	}
@@ -247,10 +250,12 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck
 }
 
-// handleHist renders the armed tracer's per-span-name latency
-// histograms as plain text.
+// handleHist renders the process-wide value histograms (per-stage
+// predictor tolerance errors live here) followed by the armed tracer's
+// per-span-name latency histograms as plain text.
 func (s *Server) handleHist(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	DefaultHists.Write(w)
 	t := s.tracer()
 	if t == nil {
 		fmt.Fprintln(w, "# tracing off (run with -trace or trace.Enable)")

@@ -33,6 +33,14 @@ func benchmarkPlace(b *testing.B, workers int) {
 	b.ReportMetric(res.HPWLUm, "hpwl")
 	b.ReportMetric(float64(res.MovesAccepted), "accepted")
 	b.ReportMetric(float64(res.MovesConflicted), "conflicted")
+	// Speculation efficiency of the adaptive batch policy: committed
+	// work per discarded speculation, and where the batch settled.
+	conf := res.MovesConflicted
+	if conf == 0 {
+		conf = 1
+	}
+	b.ReportMetric(float64(res.MovesAccepted)/float64(conf), "accept_per_conflict")
+	b.ReportMetric(float64(res.BatchFinal), "batch_final")
 }
 
 // BenchmarkPlaceSerial is the reference: the speculative engine with a

@@ -15,6 +15,24 @@ const (
 	kindSkip              // self-move or discarded region-crossing: burns a cooling step
 )
 
+// Adaptive batch-sizing policy: the live batch shrinks by a quarter
+// when an epoch's conflict fraction (conflicts / evaluated proposals)
+// exceeds adaptShrinkFrac, and grows by a quarter when it falls below
+// adaptGrowFrac, clamped to [floor, Options.Batch]. The floor scales
+// with the configured batch (Batch/4, never below adaptBatchFloor):
+// epochs pay a fixed propose+barrier cost, so letting a large-batch run
+// collapse to a few dozen proposals trades all of its parallel speedup
+// for marginal conflict savings. Both adaptation inputs are
+// worker-invariant (proposals come from the master stream, conflicts
+// from canonical commit order), so the batch trajectory — and therefore
+// the placement — stays bit-identical at every worker count.
+const (
+	adaptBatchFloor = 32
+	adaptFloorDiv   = 4
+	adaptShrinkFrac = 0.15
+	adaptGrowFrac   = 0.05
+)
+
 // annealSpeculative is the parallel engine: speculative move evaluation
 // with deterministic commit.
 //
@@ -26,12 +44,24 @@ const (
 // discarded as a conflict — it burns its cooling step but consumes no
 // acceptance coin, so the outcome is a pure function of Seed, Moves and
 // Batch, bit-identical at every Workers >= 1 and GOMAXPROCS.
+//
+// The batch size itself adapts between epochs: hot early annealing
+// commits almost everything, so large batches mostly discard stale
+// deltas; the adaptive policy shrinks the batch while the conflict
+// fraction is high and re-grows it as the anneal freezes and commits
+// thin out. The policy reads only committed epoch state (see the adapt*
+// constants), never timing, preserving worker invariance.
 func (p *placer) annealSpeculative(rng *rand.Rand) {
 	temp, cool := p.schedule(rng)
 	numCells := p.n.NumCells()
 	numSlots := len(p.g.instAt)
 	numNets := len(p.n.Nets)
 	batch := p.opts.Batch
+	cur := batch // live adaptive batch; scratch stays sized for the max
+	floor := max(adaptBatchFloor, batch/adaptFloorDiv)
+	if floor > batch {
+		floor = batch
+	}
 
 	gang := sched.NewGang(p.opts.Workers)
 	defer gang.Close()
@@ -58,10 +88,14 @@ func (p *placer) annealSpeculative(rng *rand.Rand) {
 	}
 
 	for m := 0; m < p.opts.Moves; {
+		if p.ctx.Err() != nil {
+			p.aborted = true
+			return
+		}
 		if p.opts.Partitions > 1 && !p.partitioned && m >= coarseMoves {
 			p.assignPartitions()
 		}
-		b := min(batch, p.opts.Moves-m)
+		b := min(cur, p.opts.Moves-m)
 		if p.opts.Partitions > 1 && !p.partitioned {
 			// Epochs never straddle the coarse->partitioned switch.
 			b = min(b, coarseMoves-m)
@@ -107,14 +141,17 @@ func (p *placer) annealSpeculative(rng *rand.Rand) {
 		// Commit: canonical proposal order, conflicts discarded.
 		epoch++
 		committed := 0
+		evals, confs := 0, 0
 		for k := 0; k < b; k++ {
 			if kinds[k] == kindSkip {
 				temp *= cool
 				continue
 			}
+			evals++
 			inst, slot := int(insts[k]), int(slots[k])
 			if p.conflicts(inst, slot, instStamp, slotStamp, netStamp, epoch) {
 				p.res.MovesConflicted++
+				confs++
 				temp *= cool
 				continue
 			}
@@ -143,7 +180,26 @@ func (p *placer) annealSpeculative(rng *rand.Rand) {
 		sp.SetInt("conflicts", int64(p.res.MovesConflicted))
 		sp.End()
 		m += b
+
+		// Adapt the next epoch's batch from this epoch's conflict
+		// fraction — committed state only, so the trajectory is identical
+		// at every worker count.
+		if evals > 0 {
+			switch frac := float64(confs) / float64(evals); {
+			case frac > adaptShrinkFrac:
+				cur -= cur / 4
+				if cur < floor {
+					cur = floor
+				}
+			case frac < adaptGrowFrac:
+				cur += cur/4 + 1
+				if cur > batch {
+					cur = batch
+				}
+			}
+		}
 	}
+	p.res.BatchFinal = cur
 }
 
 // conflicts reports whether an earlier commit of the current epoch

@@ -62,7 +62,7 @@ func TestParallelPlaceWorkerInvariant(t *testing.T) {
 				}
 				if got.MovesTried != ref.MovesTried || got.MovesAccepted != ref.MovesAccepted ||
 					got.MovesConflicted != ref.MovesConflicted || got.MovesResampled != ref.MovesResampled ||
-					got.RuntimeProxy != ref.RuntimeProxy {
+					got.RuntimeProxy != ref.RuntimeProxy || got.BatchFinal != ref.BatchFinal {
 					t.Fatalf("workers=%d: counters diverged:\n ref %+v\n got %+v", w, ref, got)
 				}
 				if !sameCoords(refCoords, coords(n)) {
@@ -127,10 +127,39 @@ func TestParallelPlaceRandomizedDifferential(t *testing.T) {
 		got := Place(n, o)
 		if got.HPWLUm != ref.HPWLUm || got.MovesTried != ref.MovesTried ||
 			got.MovesConflicted != ref.MovesConflicted || got.RuntimeProxy != ref.RuntimeProxy ||
-			!sameCoords(refCoords, coords(n)) {
+			got.BatchFinal != ref.BatchFinal || !sameCoords(refCoords, coords(n)) {
 			t.Fatalf("trial %d (spec seed %d, opts %+v, workers %d): parallel result diverged from workers=1",
 				trial, spec.Seed, opts, w)
 		}
+	}
+}
+
+// TestAdaptiveBatchRespondsToConflicts: an oversized batch on a small
+// design forces a high conflict fraction, so the adaptive policy must
+// shrink the live batch well below the configured maximum; a batch at
+// the floor stays pinned there. Either way the result remains a pure
+// function of (Seed, Moves, Batch) — the invariance tests above already
+// pin that across worker counts.
+func TestAdaptiveBatchRespondsToConflicts(t *testing.T) {
+	n := tiny(31)
+	big := Place(n, Options{Seed: 9, Workers: 4, Batch: 4096, Moves: 40 * n.NumCells()})
+	if big.BatchFinal >= 4096 {
+		t.Errorf("conflict-heavy anneal never shrank the batch: final %d", big.BatchFinal)
+	}
+	if big.BatchFinal < adaptBatchFloor {
+		t.Errorf("batch adapted below the floor: %d", big.BatchFinal)
+	}
+
+	n2 := tiny(31)
+	small := Place(n2, Options{Seed: 9, Workers: 4, Batch: 16, Moves: 40 * n2.NumCells()})
+	if small.BatchFinal != 16 {
+		t.Errorf("batch below the floor must stay clamped at Batch: final %d", small.BatchFinal)
+	}
+
+	// The serial engine does not batch at all.
+	n3 := tiny(31)
+	if serial := Place(n3, Options{Seed: 9}); serial.BatchFinal != 0 {
+		t.Errorf("serial engine reported a batch: %d", serial.BatchFinal)
 	}
 }
 

@@ -23,6 +23,7 @@
 package place
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -45,8 +46,11 @@ type Options struct {
 	// Batch — identical at every Workers >= 1 — but differs from the
 	// Workers == 0 serial engine, which commits after every proposal.
 	Workers int
-	// Batch is the speculative proposal batch size (default 256); only
-	// used when Workers > 0. Part of the reproducibility key.
+	// Batch is the maximum speculative proposal batch size (default
+	// 256); only used when Workers > 0. Part of the reproducibility key.
+	// The engine adapts the live batch per epoch between
+	// max(32, Batch/4) and Batch from the previous epoch's conflict
+	// fraction (see the adapt* constants in parallel.go).
 	Batch int
 	// ResampleCrossRegion redirects region-crossing proposals of the
 	// partitioned refinement phase to a random slot inside the
@@ -86,6 +90,10 @@ type Result struct {
 	// MovesResampled counts region-crossing proposals redirected into
 	// the instance's own region (Options.ResampleCrossRegion).
 	MovesResampled int
+	// BatchFinal is the adaptive speculative batch size at the end of
+	// the anneal (parallel engine only; 0 for the serial engine). A
+	// deterministic function of Seed/Moves/Batch like everything else.
+	BatchFinal int
 	// RuntimeProxy counts cost-function evaluations, a deterministic
 	// stand-in for wall-clock TAT in the experiments.
 	RuntimeProxy int
@@ -176,16 +184,36 @@ type placer struct {
 
 	eval   evalScratch
 	commit commitScratch
+
+	ctx     context.Context
+	aborted bool
 }
 
 // Place runs simulated annealing on the netlist, mutating instance
 // coordinates, and returns quality metrics.
 func Place(n *netlist.Netlist, opts Options) Result {
+	res, _ := PlaceCtx(context.Background(), n, opts)
+	return res
+}
+
+// abortCheckMoves is the cancellation poll granularity of the serial
+// annealer (the parallel engine polls once per epoch, which is at most
+// one batch). A power of two so the poll is a mask, not a division.
+const abortCheckMoves = 4096
+
+// PlaceCtx is Place with cooperative cancellation: the anneal polls ctx
+// between move blocks and bails out once it is cancelled. The second
+// return is false for an aborted anneal — its Result and the netlist's
+// coordinates are then partial and must be discarded. Cancellation
+// exists so speculative callers can reap a mispredicted anneal early;
+// an uncancelled run never aborts, so committed placements keep their
+// bit-exact determinism and worker invariance.
+func PlaceCtx(ctx context.Context, n *netlist.Netlist, opts Options) (Result, bool) {
 	opts = opts.withDefaults(n.NumCells())
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	w, h := netlist.DieSize(n, opts.Utilization)
-	p := &placer{n: n, opts: opts, w: w, h: h}
+	p := &placer{n: n, opts: opts, w: w, h: h, ctx: ctx}
 	p.g = buildGrid(n, w, h, rng)
 	p.res = Result{Width: w, Height: h}
 
@@ -219,7 +247,7 @@ func Place(n *netlist.Netlist, opts Options) Result {
 		regions := opts.Partitions * opts.Partitions
 		p.res.ParallelRuntimeProxy = p.coarseProxy + (p.res.RuntimeProxy-p.coarseProxy)/regions
 	}
-	return p.res
+	return p.res, !p.aborted
 }
 
 // annealSerial is the historical commit-every-move engine. Its random
@@ -234,6 +262,10 @@ func (p *placer) annealSerial(rng *rand.Rand) {
 		coarseMoves = p.opts.Moves / 4
 	}
 	for m := 0; m < p.opts.Moves; m++ {
+		if m&(abortCheckMoves-1) == 0 && p.ctx.Err() != nil {
+			p.aborted = true
+			return
+		}
 		if p.opts.Partitions > 1 && !p.partitioned && m >= coarseMoves {
 			p.assignPartitions()
 		}

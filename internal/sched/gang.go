@@ -13,9 +13,9 @@ import (
 // annealing epoch, say) without paying a park/unpark round trip each
 // time: on kernels where futex wake-ups are expensive (container
 // hypervisors, gVisor-style sandboxes) that round trip can cost more
-// than the round's work. Workers spin on an atomic round pointer with
-// Gosched backoff while rounds are flowing and only doze once the gang
-// has been quiet for a while. The caller's goroutine always joins the
+// than the round's work. Workers poll an atomic round pointer (with an
+// occasional Gosched to stay preemptible) while rounds are flowing and
+// only doze once the gang has been quiet for a while. The caller's goroutine always joins the
 // round itself, so a Gang of one runs entirely inline and adds no
 // synchronization.
 type Gang struct {
@@ -37,11 +37,19 @@ type gangRound struct {
 	done   atomic.Int64 // chunks completed
 }
 
-// hotSpins is how many Gosched yields a worker burns waiting for the
-// next round before switching to timed dozing. Rounds in a hot loop
-// arrive well within this budget; once it is exhausted the gang is
+// hotPolls is how many atomic-load polls a worker burns waiting for the
+// next round before switching to timed dozing. Polling is a cached
+// pointer load — it occupies the worker's CPU but touches no scheduler
+// state; a Gosched is mixed in only every yieldMask+1 polls to stay
+// preemptible, because on sandboxed kernels every yield is a global
+// runqueue transaction and a crew of yield-spinning workers measurably
+// slows the caller's serial sections between rounds. Rounds in a hot
+// loop arrive well within this budget; once it is exhausted the gang is
 // probably between call sites and the worker stops consuming a CPU.
-const hotSpins = 20000
+const (
+	hotPolls  = 4 << 20
+	yieldMask = 1<<16 - 1
+)
 
 // NewGang starts a crew of the given size (clamped to >= 1). Close must
 // be called to release the workers.
@@ -65,9 +73,11 @@ func (g *Gang) work() {
 	for !g.stop.Load() {
 		r := g.cur.Load()
 		if r == nil || r == last {
-			if idle < hotSpins {
+			if idle < hotPolls {
 				idle++
-				runtime.Gosched()
+				if idle&yieldMask == 0 {
+					runtime.Gosched()
+				}
 			} else {
 				time.Sleep(100 * time.Microsecond)
 			}
@@ -114,8 +124,10 @@ func (g *Gang) Round(n int, f func(lo, hi int)) {
 	r := &gangRound{f: f, n: n, chunks: chunks, size: (n + chunks - 1) / chunks}
 	g.cur.Store(r)
 	r.run()
-	for r.done.Load() != int64(chunks) {
-		runtime.Gosched()
+	for i := 1; r.done.Load() != int64(chunks); i++ {
+		if i&yieldMask == 0 {
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -1,0 +1,76 @@
+package sched
+
+import "sync/atomic"
+
+// Slots is a fixed set of licenses for work that must never queue:
+// speculative flow stages take a slot only if one is free right now and
+// otherwise simply do not run. Unlike Pool, acquiring never blocks, so
+// speculation can never delay a real stage behind it — the worst case
+// for a speculative chain is that it is skipped.
+//
+// A nil *Slots is valid and unlimited (every TryAcquire succeeds),
+// which keeps the zero-configuration path of flow.RunConfig cheap.
+type Slots struct {
+	cap  int64
+	used atomic.Int64
+
+	taken   atomic.Int64
+	skipped atomic.Int64
+}
+
+// NewSlots creates a slot set of size n (n < 1 is clamped to 1).
+func NewSlots(n int) *Slots {
+	if n < 1 {
+		n = 1
+	}
+	return &Slots{cap: int64(n)}
+}
+
+// Cap returns the slot count (0 for the nil, unlimited set).
+func (s *Slots) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.cap)
+}
+
+// TryAcquire takes a slot if one is free and reports whether it did.
+// It never blocks; a false return means the caller should skip its
+// speculative work, not wait for capacity.
+func (s *Slots) TryAcquire() bool {
+	if s == nil {
+		return true
+	}
+	for {
+		u := s.used.Load()
+		if u >= s.cap {
+			s.skipped.Add(1)
+			return false
+		}
+		if s.used.CompareAndSwap(u, u+1) {
+			s.taken.Add(1)
+			return true
+		}
+	}
+}
+
+// Release returns a slot taken by TryAcquire. Releasing without a
+// matching acquire is a programming error and panics: a miscounted slot
+// set would silently raise the speculation limit.
+func (s *Slots) Release() {
+	if s == nil {
+		return
+	}
+	if s.used.Add(-1) < 0 {
+		panic("sched: Slots.Release without TryAcquire")
+	}
+}
+
+// Stats reports how many acquisitions succeeded and how many were
+// refused because every slot was busy (the speculation-skipped signal).
+func (s *Slots) Stats() (taken, skipped int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.taken.Load(), s.skipped.Load()
+}

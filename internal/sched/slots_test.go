@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSlotsNeverExceedCap(t *testing.T) {
+	s := NewSlots(3)
+	var mu sync.Mutex
+	active, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !s.TryAcquire() {
+				return
+			}
+			mu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+			mu.Lock()
+			active--
+			mu.Unlock()
+			s.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Errorf("peak concurrency %d exceeded cap 3", peak)
+	}
+	taken, skipped := s.Stats()
+	if taken+skipped != 64 {
+		t.Errorf("taken %d + skipped %d != 64 attempts", taken, skipped)
+	}
+}
+
+func TestSlotsRefuseWhenFull(t *testing.T) {
+	s := NewSlots(1)
+	if !s.TryAcquire() {
+		t.Fatal("first acquire on an empty slot set refused")
+	}
+	if s.TryAcquire() {
+		t.Fatal("acquire succeeded past the cap")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("acquire refused after a release freed the slot")
+	}
+	s.Release()
+	if _, skipped := s.Stats(); skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+}
+
+func TestSlotsNilIsUnlimited(t *testing.T) {
+	var s *Slots
+	for i := 0; i < 10; i++ {
+		if !s.TryAcquire() {
+			t.Fatal("nil Slots refused an acquire")
+		}
+	}
+	s.Release() // must not panic
+	if s.Cap() != 0 {
+		t.Errorf("nil Slots cap = %d, want 0", s.Cap())
+	}
+}
+
+func TestSlotsClampAndPanic(t *testing.T) {
+	s := NewSlots(0)
+	if s.Cap() != 1 {
+		t.Errorf("cap = %d, want clamp to 1", s.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced Release did not panic")
+		}
+	}()
+	s.Release()
+}

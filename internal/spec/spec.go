@@ -1,0 +1,275 @@
+// Package spec implements the speculation oracle behind the flow's
+// speculative stage-overlap engine (flow.Options.Speculate): it
+// remembers the post-synth and post-place artifacts of completed runs
+// and serves them as predictions for runs that share the same upstream
+// inputs.
+//
+// The memory has two prediction tiers:
+//
+//   - Exact: the requesting run shares every upstream-relevant option
+//     (design content, seed, synth knobs — plus place knobs for place
+//     predictions) with an observed run. Upstream stages are pure
+//     functions of those inputs, so an exact prediction is certain to
+//     commit. This is the common case in real campaigns: sweeps that
+//     vary only downstream knobs (routing supply, iteration budgets,
+//     derates, recovery) re-derive identical upstream artifacts today,
+//     serially; speculation overlaps them instead.
+//
+//   - Cross-seed (opt-in): the run matches a family only up to its
+//     seed. The artifact served is the family's newest member and the
+//     scalar side is the family's running mean — the seed-marginalized
+//     estimate that internal/predict's ropes model — so the prediction
+//     is genuinely speculative and usually misses on artifact equality.
+//     This tier exists to measure the cost of mispredicting (the flow
+//     discards and reruns downstream on the true result) and to feed
+//     the predictor-accuracy histograms with honest errors.
+//
+// The memory is safe for concurrent use; stored artifacts are cloned in
+// and never mutated, so concurrent speculative chains can clone from
+// them freely.
+package spec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/synth"
+)
+
+// version participates in every prediction ID, so journaled hit/miss
+// provenance survives predictor upgrades. Bump it when the prediction
+// logic changes.
+const version = "spec.Memory/1"
+
+// Options configures a Memory.
+type Options struct {
+	// CrossSeed additionally serves predictions across seeds (see the
+	// package comment). Off by default: cross-seed artifacts virtually
+	// never commit, so they only spend speculative compute.
+	CrossSeed bool
+	// Cap bounds the retained artifacts per stage (0 = 256). Eviction
+	// is oldest-first — campaign sweeps revisit recent upstream inputs,
+	// not ancient ones.
+	Cap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cap <= 0 {
+		o.Cap = 256
+	}
+	return o
+}
+
+// synthEntry is one remembered synthesis outcome. res.Netlist is a
+// private clone, never mutated after store.
+type synthEntry struct {
+	res synth.Result
+}
+
+// placeEntry is one remembered placement outcome with its placed
+// artifact (private clone) and the provenance the flow stamped the
+// observation with — the exact-tier prediction serves the triple back
+// verbatim, so the flow can commit it outright once the provenance
+// matches the run's own.
+type placeEntry struct {
+	res    place.Result
+	placed *netlist.Netlist
+	prov   flow.PlaceProvenance
+}
+
+// family tracks the running scalar statistics of a seed-agnostic
+// option family, the data behind cross-seed scalar estimates.
+type family struct {
+	n          int
+	sumA, sumB float64 // synth: area, wns; place: hpwl, unused
+}
+
+// Memory is the artifact-memory oracle. It implements flow.SpecOracle.
+type Memory struct {
+	opts Options
+
+	mu         sync.Mutex
+	synth      map[string]*synthEntry // exact key -> artifact
+	synthOrder []string
+	synthAny   map[string]*synthEntry // family key -> newest member
+	synthFam   map[string]*family
+	place      map[string]*placeEntry
+	placeOrder []string
+	placeAny   map[string]*placeEntry
+	placeFam   map[string]*family
+}
+
+// NewMemory creates an empty artifact memory.
+func NewMemory(opts Options) *Memory {
+	return &Memory{
+		opts:     opts.withDefaults(),
+		synth:    map[string]*synthEntry{},
+		synthAny: map[string]*synthEntry{},
+		synthFam: map[string]*family{},
+		place:    map[string]*placeEntry{},
+		placeAny: map[string]*placeEntry{},
+		placeFam: map[string]*family{},
+	}
+}
+
+// Version implements flow.SpecOracle.
+func (m *Memory) Version() string {
+	if m.opts.CrossSeed {
+		return version + "+cross"
+	}
+	return version
+}
+
+// synthFamKey identifies a synthesis family: everything the synth stage
+// depends on except the seed. Options are pre-normalized by the flow.
+func synthFamKey(fp uint64, o flow.Options) string {
+	return fmt.Sprintf("%016x f=%g se=%d mf=%d", fp, o.TargetFreqGHz, o.SynthEffort, o.MaxFanout)
+}
+
+// placeFamKey identifies a placement family: the synth family plus
+// every placement knob (the placed artifact depends on both stages).
+func placeFamKey(fp uint64, o flow.Options) string {
+	return synthFamKey(fp, o) +
+		fmt.Sprintf(" u=%g pm=%d part=%d pw=%d", o.Utilization, o.PlaceMoves, o.Partitions, o.PlaceWorkers)
+}
+
+func seedKey(fam string, seed int64) string { return fam + fmt.Sprintf(" s=%d", seed) }
+
+// PredictSynth implements flow.SpecOracle.
+func (m *Memory) PredictSynth(fp uint64, o flow.Options) (flow.SynthPrediction, bool) {
+	fam := synthFamKey(fp, o)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.synth[seedKey(fam, o.Seed)]; ok {
+		return flow.SynthPrediction{Synth: e.res, ID: m.Version() + "/synth/exact"}, true
+	}
+	if m.opts.CrossSeed {
+		if e, ok := m.synthAny[fam]; ok {
+			res := e.res
+			if f := m.synthFam[fam]; f != nil && f.n > 0 {
+				// Seed-marginalized scalar estimate: the family mean, the
+				// same quantity internal/predict's synth ropes regress.
+				res.AreaUm2 = f.sumA / float64(f.n)
+				res.WNSPs = f.sumB / float64(f.n)
+			}
+			return flow.SynthPrediction{Synth: res, ID: m.Version() + "/synth/cross"}, true
+		}
+	}
+	return flow.SynthPrediction{}, false
+}
+
+// PredictPlace implements flow.SpecOracle.
+func (m *Memory) PredictPlace(fp uint64, o flow.Options) (flow.PlacePrediction, bool) {
+	fam := placeFamKey(fp, o)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.place[seedKey(fam, o.Seed)]; ok {
+		return flow.PlacePrediction{Place: e.res, Netlist: e.placed, Prov: e.prov, ID: m.Version() + "/place/exact"}, true
+	}
+	if m.opts.CrossSeed {
+		if e, ok := m.placeAny[fam]; ok {
+			res := e.res
+			if f := m.placeFam[fam]; f != nil && f.n > 0 {
+				res.HPWLUm = f.sumA / float64(f.n)
+			}
+			// Estimate grade: the scalars are family means, not the
+			// artifact's own, so the pair carries no provenance and can
+			// only seed speculative recomputation.
+			return flow.PlacePrediction{Place: res, Netlist: e.placed, ID: m.Version() + "/place/cross"}, true
+		}
+	}
+	return flow.PlacePrediction{}, false
+}
+
+// ObserveSynth implements flow.SpecOracle: it remembers the post-synth
+// artifact (cloned — the flow will mutate the live netlist in place)
+// under the run's exact upstream key and updates the family estimate.
+func (m *Memory) ObserveSynth(fp uint64, o flow.Options, res synth.Result) {
+	if res.Netlist == nil {
+		return
+	}
+	fam := synthFamKey(fp, o)
+	key := seedKey(fam, o.Seed)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.synth[key]; dup {
+		return
+	}
+	stored := res
+	stored.Netlist = res.Netlist.Clone()
+	e := &synthEntry{res: stored}
+	m.synth[key] = e
+	m.synthOrder = append(m.synthOrder, key)
+	m.synthAny[fam] = e
+	f := m.synthFam[fam]
+	if f == nil {
+		f = &family{}
+		m.synthFam[fam] = f
+	}
+	f.n++
+	f.sumA += res.AreaUm2
+	f.sumB += res.WNSPs
+	if len(m.synthOrder) > m.opts.Cap {
+		old := m.synthOrder[0]
+		m.synthOrder = m.synthOrder[1:]
+		if evicted, ok := m.synth[old]; ok {
+			delete(m.synth, old)
+			for famKey, any := range m.synthAny {
+				if any == evicted {
+					delete(m.synthAny, famKey)
+				}
+			}
+		}
+	}
+}
+
+// ObservePlace implements flow.SpecOracle: it remembers the placed
+// artifact under the run's exact upstream key.
+func (m *Memory) ObservePlace(fp uint64, o flow.Options, res place.Result, placed *netlist.Netlist, prov flow.PlaceProvenance) {
+	if placed == nil {
+		return
+	}
+	fam := placeFamKey(fp, o)
+	key := seedKey(fam, o.Seed)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.place[key]; dup {
+		return
+	}
+	e := &placeEntry{res: res, placed: placed.Clone(), prov: prov}
+	m.place[key] = e
+	m.placeOrder = append(m.placeOrder, key)
+	m.placeAny[fam] = e
+	f := m.placeFam[fam]
+	if f == nil {
+		f = &family{}
+		m.placeFam[fam] = f
+	}
+	f.n++
+	f.sumA += res.HPWLUm
+	if len(m.placeOrder) > m.opts.Cap {
+		old := m.placeOrder[0]
+		m.placeOrder = m.placeOrder[1:]
+		if evicted, ok := m.place[old]; ok {
+			delete(m.place, old)
+			for famKey, any := range m.placeAny {
+				if any == evicted {
+					delete(m.placeAny, famKey)
+				}
+			}
+		}
+	}
+}
+
+// Len reports the retained artifact counts (for tests and
+// introspection).
+func (m *Memory) Len() (synthN, placeN int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.synth), len(m.place)
+}
+
+var _ flow.SpecOracle = (*Memory)(nil)

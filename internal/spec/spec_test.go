@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cellib"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/synth"
+)
+
+func testDesign(seed int64) *netlist.Netlist {
+	return netlist.Generate(cellib.Default14nm(), netlist.Tiny(seed))
+}
+
+func synthRes(seed int64, area, wns float64) synth.Result {
+	return synth.Result{Netlist: testDesign(seed), AreaUm2: area, WNSPs: wns}
+}
+
+func TestMemoryExactHitAfterObserve(t *testing.T) {
+	m := NewMemory(Options{})
+	opts := flow.Options{TargetFreqGHz: 0.5, Seed: 3}
+	res := synthRes(3, 100, -20)
+	m.ObserveSynth(7, opts, res)
+
+	p, ok := m.PredictSynth(7, opts)
+	if !ok {
+		t.Fatal("exact prediction missing after observe")
+	}
+	if !strings.HasSuffix(p.ID, "/synth/exact") {
+		t.Errorf("ID = %q, want /synth/exact suffix", p.ID)
+	}
+	if p.Synth.Netlist.Fingerprint() != res.Netlist.Fingerprint() {
+		t.Error("exact prediction serves a different artifact")
+	}
+	if p.Synth.AreaUm2 != 100 || p.Synth.WNSPs != -20 {
+		t.Errorf("exact prediction altered scalars: %+v", p.Synth)
+	}
+
+	// Any key component off: no prediction without cross-seed.
+	other := opts
+	other.Seed = 4
+	if _, ok := m.PredictSynth(7, other); ok {
+		t.Error("seed mismatch predicted without CrossSeed")
+	}
+	other = opts
+	other.TargetFreqGHz = 0.6
+	if _, ok := m.PredictSynth(7, other); ok {
+		t.Error("frequency mismatch predicted")
+	}
+	if _, ok := m.PredictSynth(8, opts); ok {
+		t.Error("design-fingerprint mismatch predicted")
+	}
+}
+
+func TestMemoryColdMiss(t *testing.T) {
+	m := NewMemory(Options{CrossSeed: true})
+	if _, ok := m.PredictSynth(1, flow.Options{Seed: 1}); ok {
+		t.Error("empty memory offered a synth prediction")
+	}
+	if _, ok := m.PredictPlace(1, flow.Options{Seed: 1}); ok {
+		t.Error("empty memory offered a place prediction")
+	}
+}
+
+func TestMemoryCrossSeedServesFamilyMean(t *testing.T) {
+	m := NewMemory(Options{CrossSeed: true})
+	opts := flow.Options{TargetFreqGHz: 0.5, Seed: 1}
+	m.ObserveSynth(7, opts, synthRes(1, 100, -10))
+	opts.Seed = 2
+	m.ObserveSynth(7, opts, synthRes(2, 120, -30))
+
+	opts.Seed = 99 // never observed
+	p, ok := m.PredictSynth(7, opts)
+	if !ok {
+		t.Fatal("cross-seed prediction missing")
+	}
+	if !strings.HasSuffix(p.ID, "/synth/cross") {
+		t.Errorf("ID = %q, want /synth/cross suffix", p.ID)
+	}
+	if p.Synth.AreaUm2 != 110 || p.Synth.WNSPs != -20 {
+		t.Errorf("cross-seed scalars = (%g, %g), want family mean (110, -20)",
+			p.Synth.AreaUm2, p.Synth.WNSPs)
+	}
+	// Artifact is the newest family member.
+	if got, want := p.Synth.Netlist.Fingerprint(), testDesign(2).Fingerprint(); got != want {
+		t.Error("cross-seed artifact is not the newest family member")
+	}
+
+	// The same store with CrossSeed off must not serve it.
+	off := NewMemory(Options{})
+	off.ObserveSynth(7, flow.Options{TargetFreqGHz: 0.5, Seed: 1}, synthRes(1, 100, -10))
+	if _, ok := off.PredictSynth(7, flow.Options{TargetFreqGHz: 0.5, Seed: 99}); ok {
+		t.Error("CrossSeed=false served a cross-seed prediction")
+	}
+}
+
+func TestMemoryObserveClonesArtifacts(t *testing.T) {
+	m := NewMemory(Options{})
+	opts := flow.Options{Seed: 5}
+	res := synthRes(5, 50, 0)
+	want := res.Netlist.Fingerprint()
+	m.ObserveSynth(1, opts, res)
+	// Mutate the live netlist after observe — as the flow's later stages
+	// will. The stored prediction must be unaffected.
+	res.Netlist.Insts[0].X += 1000
+	p, _ := m.PredictSynth(1, opts)
+	if p.Synth.Netlist.Fingerprint() != want {
+		t.Error("observed artifact aliased the live netlist")
+	}
+
+	placed := testDesign(6)
+	prov := flow.PlaceProvenance{UpstreamFP: 42, Opts: place.Options{Seed: 9, Moves: 100}}
+	m.ObservePlace(1, opts, place.Result{HPWLUm: 10}, placed, prov)
+	wantP := placed.Fingerprint()
+	placed.Insts[0].Y += 1000
+	pp, _ := m.PredictPlace(1, opts)
+	if pp.Netlist.Fingerprint() != wantP {
+		t.Error("observed placed artifact aliased the live netlist")
+	}
+	// The exact tier serves the observation's provenance back verbatim;
+	// a cross-seed estimate must not carry one.
+	if pp.Prov != prov {
+		t.Errorf("exact tier dropped provenance: %+v", pp.Prov)
+	}
+	cross := NewMemory(Options{CrossSeed: true})
+	cross.ObservePlace(1, opts, place.Result{HPWLUm: 10}, testDesign(6), prov)
+	if cp, ok := cross.PredictPlace(1, flow.Options{Seed: 77}); !ok {
+		t.Error("cross-seed place prediction missing")
+	} else if cp.Prov != (flow.PlaceProvenance{}) {
+		t.Errorf("cross-seed estimate carries provenance: %+v", cp.Prov)
+	}
+}
+
+func TestMemoryDedupAndEviction(t *testing.T) {
+	m := NewMemory(Options{Cap: 2, CrossSeed: true})
+	opts := flow.Options{Seed: 1}
+	m.ObserveSynth(1, opts, synthRes(1, 100, 0))
+	m.ObserveSynth(1, opts, synthRes(1, 999, 0)) // duplicate key: ignored
+	if sn, _ := m.Len(); sn != 1 {
+		t.Fatalf("duplicate observe stored a second entry: %d", sn)
+	}
+	if p, _ := m.PredictSynth(1, opts); p.Synth.AreaUm2 != 100 {
+		t.Error("duplicate observe overwrote the first entry")
+	}
+
+	opts.Seed = 2
+	m.ObserveSynth(1, opts, synthRes(2, 100, 0))
+	opts.Seed = 3
+	m.ObserveSynth(1, opts, synthRes(3, 100, 0)) // evicts seed 1
+	if sn, _ := m.Len(); sn != 2 {
+		t.Fatalf("cap not enforced: %d entries", sn)
+	}
+	// The evicted seed is no longer exact — it can only be served by the
+	// cross-seed tier now.
+	if p, ok := m.PredictSynth(1, flow.Options{Seed: 1}); ok && !strings.HasSuffix(p.ID, "/cross") {
+		t.Errorf("evicted entry still served as exact: %q", p.ID)
+	}
+	if _, ok := m.PredictSynth(1, flow.Options{Seed: 3}); !ok {
+		t.Error("newest entry missing after eviction")
+	}
+	// Cross-seed tier must survive eviction consistently: the family
+	// pointer either serves a retained artifact or none at all.
+	if p, ok := m.PredictSynth(1, flow.Options{Seed: 99}); ok {
+		if got := p.Synth.Netlist.Fingerprint(); got != testDesign(3).Fingerprint() {
+			t.Error("cross-seed tier serves an evicted artifact")
+		}
+	}
+}
+
+func TestMemoryVersion(t *testing.T) {
+	if v := NewMemory(Options{}).Version(); v != version {
+		t.Errorf("Version() = %q", v)
+	}
+	if v := NewMemory(Options{CrossSeed: true}).Version(); v != version+"+cross" {
+		t.Errorf("cross-seed Version() = %q", v)
+	}
+}

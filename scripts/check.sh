@@ -3,13 +3,25 @@
 #
 #   scripts/check.sh          vet + build + race-enabled tests (with a
 #                             doubled concurrency tier on the scheduler,
-#                             campaign engine, and the parallel place &
-#                             route kernels)
+#                             campaign engine, the parallel place &
+#                             route kernels, and the speculative flow
+#                             path)
 #   scripts/check.sh bench    also run the benchmark pairs and write the
 #                             speedups to BENCH_campaign.json /
 #                             BENCH_sta.json / BENCH_place.json /
-#                             BENCH_route.json, and the live doomed-run
-#                             abort gate to BENCH_doomed.json
+#                             BENCH_route.json / BENCH_spec.json, the
+#                             live doomed-run abort gate to
+#                             BENCH_doomed.json, then print a
+#                             consolidated table of every BENCH_*.json
+#                             (failing loudly if any expected file is
+#                             missing)
+#   scripts/check.sh spec     speculation tier: doubled -race over the
+#                             flow/spec packages, speculative sweeps
+#                             diffed byte-for-byte against the
+#                             non-speculative reference at worker counts
+#                             1/2/4/8, a kill -9 resume mid-speculation,
+#                             and the deterministic doomed -speculate
+#                             overlap report (commits > 0, QoR drift 0)
 #   scripts/check.sh crash    crash-safety tier: -race over the journal/
 #                             watchdog/campaign/flow paths, a fuzz smoke
 #                             of the journal decoder, then a real kill -9
@@ -49,8 +61,8 @@
 # pulpino-proxy scale AND land on the identical final area/WNS. The
 # tracing pair is gated too: BenchmarkCampaignTraced (tracer armed, every
 # point/stage/iteration emitting spans) may be at most 5% slower than the
-# untraced BenchmarkCampaignParallel — best-of-5 at a fixed benchtime,
-# because full observability must stay in the noise. (Tracing *off* costs
+# untraced BenchmarkCampaignParallel — best of five interleaved A/B
+# pairs, because full observability must stay in the noise. (Tracing *off* costs
 # one nil-check per span site; BenchmarkSpanDisabled in internal/trace
 # pins that at ~3ns and 0 allocs.)
 set -eu
@@ -61,21 +73,33 @@ go build ./...
 # Concurrency tier: the license pool, gang scheduler and campaign
 # engine carry the cancellation/retry machinery every experiment fans
 # out on, the tracer/metrics server are written to by every one of
-# those goroutines at once, and the place/route kernels run speculative
-# batches and sharded regions on the gang; run their race tests twice
-# (fresh caches each time) before the full suite.
+# those goroutines at once, the place/route kernels run speculative
+# batches and sharded regions on the gang, and the flow/spec pair runs
+# whole speculative stage chains concurrently with the real stages; run
+# their race tests twice (fresh caches each time) before the full suite.
 go test -race -count=2 ./internal/sched/... ./internal/campaign/... \
     ./internal/trace/... ./internal/metrics/... \
-    ./internal/place/... ./internal/route/...
+    ./internal/place/... ./internal/route/... \
+    ./internal/flow/... ./internal/spec/...
 go test -race ./...
 
 if [ "${1:-}" = "bench" ]; then
     out=$(go test -run=NONE -bench='BenchmarkCampaign(Serial|Parallel)$' -benchtime=3x .)
     echo "$out"
-    # Tracing overhead pair: a longer fixed benchtime and best-of-5 so
-    # the 5% gate measures tracing, not scheduler noise (real overhead
-    # is ~1%; single runs on a loaded machine can drift by more).
-    tout=$(go test -run=NONE -bench='BenchmarkCampaign(Parallel|Traced)$' -benchtime=1s -count=5 .)
+    # Tracing overhead: five interleaved A/B invocations, each running
+    # the untraced and traced benchmark seconds apart, gated on the
+    # MINIMUM per-pair ratio. Scheduler noise on this workload is ±10%
+    # while real tracing overhead is ~1%, and noise can only inflate a
+    # ratio — so the best pair is the tightest upper bound on the true
+    # overhead, and a genuine regression (say a 10% cost per span batch)
+    # still shows up in every pair. (-count=5 would run five untraced
+    # then five traced ~30s later, and machine drift across that window
+    # lands entirely on the "overhead".)
+    tout=""
+    for _ in 1 2 3 4 5; do
+        tout="$tout
+$(go test -run=NONE -bench='BenchmarkCampaign(Parallel|Traced)$' -benchtime=1s .)"
+    done
     echo "$tout"
     { echo "$out"; echo "===TRACED==="; echo "$tout"; } | awk '
         /^===TRACED===$/ { traced_section = 1; next }
@@ -86,21 +110,22 @@ if [ "${1:-}" = "bench" ]; then
                 if ($i == "qor_area_sum")   qor = $(i-1)
             }
         }
-        traced_section && /BenchmarkCampaignParallel/ {
-            if (pmin == "" || $3 + 0 < pmin) pmin = $3 + 0
-        }
+        traced_section && /BenchmarkCampaignParallel/ { pcur = $3 + 0 }
         traced_section && /BenchmarkCampaignTraced/ {
-            if (tmin == "" || $3 + 0 < tmin) tmin = $3 + 0
+            if (pcur > 0) {
+                ratio = ($3 + 0) / pcur
+                if (best == "" || ratio < best) { best = ratio; pmin = pcur; tmin = $3 + 0 }
+            }
+            pcur = 0
             for (i = 1; i <= NF; i++) if ($i == "spans") spans = $(i-1)
         }
         END {
-            if (serial == "" || parallel == "" || parallel == 0 ||
-                pmin == "" || tmin == "" || pmin == 0) {
+            if (serial == "" || parallel == "" || parallel == 0 || best == "") {
                 print "check.sh: could not parse benchmark output" > "/dev/stderr"
                 exit 1
             }
             speedup = serial / parallel
-            overhead = (tmin / pmin - 1) * 100
+            overhead = (best - 1) * 100
             printf "campaign_speedup_x=%.2f\n", speedup
             printf "trace_overhead_pct=%.2f\n", overhead
             printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s,\"traced_ns_per_op\":%.0f,\"trace_overhead_pct\":%.2f,\"spans_per_op\":%s}\n", \
@@ -192,12 +217,13 @@ if [ "${1:-}" = "bench" ]; then
         /BenchmarkPlaceSerial/ {
             if (smin == "" || $3 + 0 < smin) smin = $3 + 0
             s_hpwl = metric("hpwl"); s_acc = metric("accepted")
-            s_conf = metric("conflicted")
+            s_conf = metric("conflicted"); s_bf = metric("batch_final")
         }
         /BenchmarkPlaceParallel/ {
             if (pmin == "" || $3 + 0 < pmin) pmin = $3 + 0
             p_hpwl = metric("hpwl"); p_acc = metric("accepted")
-            p_conf = metric("conflicted")
+            p_conf = metric("conflicted"); p_bf = metric("batch_final")
+            p_apc = metric("accept_per_conflict")
         }
         END {
             if (smin == "" || pmin == "" || pmin == 0) {
@@ -206,11 +232,11 @@ if [ "${1:-}" = "bench" ]; then
             }
             speedup = smin / pmin
             printf "place_speedup_x=%.2f\n", speedup
-            printf "{\"benchmark\":\"place\",\"serial_ns_per_op\":%.0f,\"parallel_ns_per_op\":%.0f,\"speedup_x\":%.2f,\"hpwl_um\":%s,\"moves_accepted\":%s,\"moves_conflicted\":%s}\n", \
-                smin, pmin, speedup, p_hpwl, p_acc, p_conf > "BENCH_place.json.tmp"
-            if (s_hpwl != p_hpwl || s_acc != p_acc || s_conf != p_conf) {
-                printf "check.sh: place serial/parallel QoR mismatch: hpwl %s vs %s, accepted %s vs %s, conflicted %s vs %s\n", \
-                    s_hpwl, p_hpwl, s_acc, p_acc, s_conf, p_conf > "/dev/stderr"
+            printf "{\"benchmark\":\"place\",\"serial_ns_per_op\":%.0f,\"parallel_ns_per_op\":%.0f,\"speedup_x\":%.2f,\"hpwl_um\":%s,\"moves_accepted\":%s,\"moves_conflicted\":%s,\"accept_per_conflict\":%s,\"batch_final\":%s}\n", \
+                smin, pmin, speedup, p_hpwl, p_acc, p_conf, p_apc, p_bf > "BENCH_place.json.tmp"
+            if (s_hpwl != p_hpwl || s_acc != p_acc || s_conf != p_conf || s_bf != p_bf) {
+                printf "check.sh: place serial/parallel QoR mismatch: hpwl %s vs %s, accepted %s vs %s, conflicted %s vs %s, batch_final %s vs %s\n", \
+                    s_hpwl, p_hpwl, s_acc, p_acc, s_conf, p_conf, s_bf, p_bf > "/dev/stderr"
                 exit 1
             }
             if (speedup < 2) {
@@ -261,6 +287,88 @@ if [ "${1:-}" = "bench" ]; then
             }
         }'
     mv BENCH_route.json.tmp BENCH_route.json
+
+    # Speculative stage-overlap gate, min-of-3 on both pairs. The sweep
+    # pair runs the downstream-knob sweep speculation exists for, at one
+    # campaign license, so all reclaimed wall-clock is stage overlap; it
+    # must reclaim >= 20% at an identical qor_hash. The miss pair runs
+    # an always-wrong oracle over an upstream-varying sweep — every
+    # chain launches, burns, and is reaped — and must cost <= 5% over
+    # its non-speculative reference, again at an identical qor_hash.
+    out=$(go test -run=NONE -bench='BenchmarkSpec(SweepBase|SweepOverlap|MissBase|MissSpec)$' \
+        -benchtime=1x -count=3 ./internal/spec/)
+    echo "$out"
+    echo "$out" | awk '
+        function metric(name,   i) {
+            for (i = 1; i <= NF; i++) if ($i == name) return $(i-1)
+            return ""
+        }
+        /BenchmarkSpecSweepBase/ {
+            if (sb == "" || $3 + 0 < sb) sb = $3 + 0
+            sb_qor = metric("qor_hash")
+        }
+        /BenchmarkSpecSweepOverlap/ {
+            if (so == "" || $3 + 0 < so) so = $3 + 0
+            so_qor = metric("qor_hash")
+        }
+        /BenchmarkSpecMissBase/ {
+            if (mb == "" || $3 + 0 < mb) mb = $3 + 0
+            mb_qor = metric("qor_hash")
+        }
+        /BenchmarkSpecMissSpec/ {
+            if (ms == "" || $3 + 0 < ms) ms = $3 + 0
+            ms_qor = metric("qor_hash")
+        }
+        END {
+            if (sb == "" || so == "" || so == 0 || mb == "" || mb == 0 || ms == "") {
+                print "check.sh: could not parse spec benchmark output" > "/dev/stderr"
+                exit 1
+            }
+            reclaimed = (1 - so / sb) * 100
+            overhead = (ms / mb - 1) * 100
+            printf "spec_reclaimed_pct=%.1f\n", reclaimed
+            printf "spec_miss_overhead_pct=%.1f\n", overhead
+            printf "{\"benchmark\":\"spec\",\"sweep_base_ns_per_op\":%.0f,\"sweep_overlap_ns_per_op\":%.0f,\"reclaimed_pct\":%.1f,\"miss_base_ns_per_op\":%.0f,\"miss_spec_ns_per_op\":%.0f,\"miss_overhead_pct\":%.1f,\"sweep_qor_hash\":%s,\"miss_qor_hash\":%s}\n", \
+                sb, so, reclaimed, mb, ms, overhead, so_qor, ms_qor > "BENCH_spec.json.tmp"
+            if (sb_qor != so_qor) {
+                printf "check.sh: speculative sweep QoR drift: qor_hash %s vs %s\n", \
+                    sb_qor, so_qor > "/dev/stderr"
+                exit 1
+            }
+            if (mb_qor != ms_qor) {
+                printf "check.sh: all-miss speculation QoR drift: qor_hash %s vs %s\n", \
+                    mb_qor, ms_qor > "/dev/stderr"
+                exit 1
+            }
+            if (reclaimed < 20) {
+                printf "check.sh: speculation reclaimed %.1f%% below 20%% gate\n", reclaimed > "/dev/stderr"
+                exit 1
+            }
+            if (overhead > 5) {
+                printf "check.sh: all-miss speculation overhead %.1f%% above 5%% gate\n", overhead > "/dev/stderr"
+                exit 1
+            }
+        }'
+    mv BENCH_spec.json.tmp BENCH_spec.json
+
+    # Consolidated bench table: every gate above must have written its
+    # file. A missing file means a gate silently did not run — fail
+    # loudly rather than report a partial picture.
+    echo "=== bench summary ==="
+    missing=0
+    for f in BENCH_campaign.json BENCH_sta.json BENCH_doomed.json \
+             BENCH_place.json BENCH_route.json BENCH_spec.json; do
+        if [ ! -f "$f" ]; then
+            echo "check.sh: expected bench file $f is missing" >&2
+            missing=1
+            continue
+        fi
+        printf '%s\n' "$f"
+        sed 's/^/    /' "$f"
+    done
+    if [ "$missing" -ne 0 ]; then
+        exit 1
+    fi
 fi
 
 if [ "${1:-}" = "crash" ]; then
@@ -350,4 +458,81 @@ if [ "${1:-}" = "trace" ]; then
         -require 'campaign.run,campaign.point,flow.run,flow.synth,flow.droute,route.iter,sched.wait,place.move,route.tile' \
         "$work/trace.json"
     echo "trace_demo=ok"
+fi
+
+if [ "${1:-}" = "spec" ]; then
+    # Speculation tier.
+    #
+    # 1. Doubled race tests over the speculative flow path: real and
+    #    speculative stage chains share netlist clones, slots, and the
+    #    oracle concurrently.
+    go test -race -count=2 ./internal/flow/... ./internal/spec/...
+
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    go build -o "$work/sprflow" ./cmd/sprflow
+
+    # 2. End-to-end determinism: a speculative sweep's stdout must be
+    #    byte-identical to the non-speculative reference at every worker
+    #    count — whichever speculations hit or miss, commit decisions
+    #    are pure functions of (prediction, real result).
+    sweep_flags="-design tiny -sweep 4"
+    "$work/sprflow" $sweep_flags -parallel 4 > "$work/ref.out"
+    for workers in 1 2 4 8; do
+        "$work/sprflow" $sweep_flags -parallel "$workers" -speculate \
+            > "$work/spec-w$workers.out" 2> "$work/spec-w$workers.err"
+        if ! diff -u "$work/ref.out" "$work/spec-w$workers.out"; then
+            echo "check.sh: speculative sweep at $workers workers differs from reference" >&2
+            exit 1
+        fi
+    done
+    # The oracle must actually have been consulted: at 1 worker the
+    # sweep warms the artifact memory point by point, so later points
+    # are offered predictions (hits or misses — either proves life).
+    if ! grep -Eq '^predict\.(synth|place)\.(hit|miss) [1-9]' "$work/spec-w1.err"; then
+        echo "check.sh: speculative sweep consulted no predictions" >&2
+        cat "$work/spec-w1.err" >&2
+        exit 1
+    fi
+
+    # 3. kill -9 mid-speculation: resume the journaled speculative
+    #    sweep; its output must still match the non-speculative,
+    #    uninterrupted reference byte-for-byte.
+    jdir="$work/j"
+    "$work/sprflow" $sweep_flags -parallel 4 -speculate -journal "$jdir" \
+        > /dev/null 2>&1 &
+    pid=$!
+    sleep 0.3
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    "$work/sprflow" $sweep_flags -parallel 4 -speculate -journal "$jdir" -resume \
+        > "$work/resumed.out" 2> /dev/null
+    if ! diff -u "$work/ref.out" "$work/resumed.out"; then
+        echo "check.sh: resumed speculative sweep differs from reference" >&2
+        exit 1
+    fi
+
+    # 4. Deterministic overlap accounting through the doomed CLI:
+    #    speculation must commit downstream stages and must never drift
+    #    QoR from the non-speculative reference.
+    out=$(go run ./cmd/doomed -speculate -seed 1 -scale small)
+    echo "$out"
+    echo "$out" | awk -F= '
+        /^spec_overlap_committed=/      { committed = $2 }
+        /^spec_overlap_qor_mismatches=/ { mism = $2 }
+        END {
+            if (committed == "" || mism == "") {
+                print "check.sh: could not parse spec-overlap output" > "/dev/stderr"
+                exit 1
+            }
+            if (committed + 0 < 1) {
+                print "check.sh: speculation committed no stages" > "/dev/stderr"
+                exit 1
+            }
+            if (mism + 0 != 0) {
+                printf "check.sh: speculation drifted QoR on %s points\n", mism > "/dev/stderr"
+                exit 1
+            }
+        }'
+    echo "spec_gate=ok"
 fi
