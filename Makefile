@@ -10,7 +10,10 @@ crash:
 spec:
 	scripts/check.sh spec
 
+dist:
+	scripts/check.sh dist
+
 trace-demo:
 	scripts/check.sh trace
 
-.PHONY: check bench crash spec trace-demo
+.PHONY: check bench crash spec dist trace-demo

@@ -1,0 +1,224 @@
+// Command campd runs one node of the distributed campaign service —
+// the store, a worker, or the coordinator — so a sweep can be sharded
+// across processes (and, with real addresses, across hosts).
+//
+// Usage:
+//
+//	campd -mode store -addr 127.0.0.1:7600 [-journal DIR]
+//	campd -mode worker -id w0 -addr 127.0.0.1:7601 \
+//	      -store-url http://127.0.0.1:7600 \
+//	      -design tiny -freq 0.5 -seed 1 -sweep 4 [-parallel 2]
+//	campd -mode coord -store-url http://127.0.0.1:7600 \
+//	      -nodes w0=http://127.0.0.1:7601,w1=http://127.0.0.1:7602 \
+//	      -design tiny -freq 0.5 -seed 1 -sweep 4
+//
+// Every process derives the identical campaign point list from the
+// same sweep flags (-design/-freq/-seed/-sweep/-effort), so the
+// coordinator addresses work by point index and assembles results by
+// content key. The coordinator's stdout is byte-identical to
+// `sprflow -sweep` with the same flags, at any node count, including
+// after killing workers mid-campaign. The store's -journal DIR makes
+// results durable: restart the store and finished points are served,
+// not recomputed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro"
+	"repro/internal/campaign"
+	"repro/internal/dist"
+	"repro/internal/journal"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	mode := flag.String("mode", "", "store, worker, or coord")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (store and worker modes)")
+	journalDir := flag.String("journal", "", "store WAL directory (store mode; \"\" = memory only)")
+	storeURL := flag.String("store-url", "", "result store base URL (worker and coord modes)")
+	id := flag.String("id", "", "worker node ID (worker mode; must match -nodes entry)")
+	nodeList := flag.String("nodes", "", "comma-separated id=url worker list (coord mode)")
+	design := flag.String("design", "pulpino", "design: pulpino, cpu, artificial, tiny")
+	freq := flag.Float64("freq", 0.5, "base target frequency, GHz")
+	seed := flag.Int64("seed", 1, "base seed")
+	effort := flag.Int("effort", 2, "synthesis effort 1..3")
+	sweep := flag.Int("sweep", 4, "seeds per frequency")
+	parallel := flag.Int("parallel", 0, "worker concurrency / coord slots per node (0 = one per CPU)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
+	flag.Parse()
+
+	switch *mode {
+	case "store":
+		return runStore(*addr, *journalDir)
+	case "worker", "coord":
+	default:
+		fmt.Fprintln(os.Stderr, "campd: -mode must be store, worker, or coord")
+		return 2
+	}
+
+	if *storeURL == "" {
+		fmt.Fprintln(os.Stderr, "campd: -store-url required")
+		return 2
+	}
+	scfg, err := sweepConfig(*design, *freq, *seed, *effort, *sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	scfg.Workers = *parallel
+	scfg.StageTimeout = *stageTimeout
+	pts, err := repro.CampaignPoints(scfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	client := dist.NewStoreClient(*storeURL)
+
+	if *mode == "worker" {
+		return runWorker(*id, *addr, pts, client, *parallel, scfg)
+	}
+	return runCoord(*nodeList, pts, scfg, client, *parallel)
+}
+
+// sweepConfig derives the campaign spec from the shared sweep flags —
+// the same derivation sprflow's -sweep uses, so the two binaries agree
+// on the point list byte-for-byte.
+func sweepConfig(design string, freq float64, seed int64, effort, nSeeds int) (repro.SweepConfig, error) {
+	var spec repro.DesignSpec
+	switch design {
+	case "pulpino":
+		spec = repro.PulpinoProxy(seed)
+	case "cpu":
+		spec = repro.EmbeddedCPU(seed)
+	case "artificial":
+		spec = repro.Artificial(seed)
+	case "tiny":
+		spec = repro.TinyDesign(seed)
+	default:
+		return repro.SweepConfig{}, fmt.Errorf("campd: unknown design %q", design)
+	}
+	seeds := make([]int64, nSeeds)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	return repro.SweepConfig{
+		Design: repro.NewDesign(repro.DefaultLibrary(), spec),
+		Base:   repro.FlowOptions{SynthEffort: effort},
+		Freqs:  []float64{0.8 * freq, freq, 1.2 * freq},
+		Seeds:  seeds,
+	}, nil
+}
+
+func runStore(addr, journalDir string) int {
+	store, err := dist.OpenStore(journalDir, journal.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer store.Close()
+	srv := dist.NewStoreServer(store)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if journalDir != "" {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "store: recovered %d entries (%d corrupt) from %s\n",
+			st.Recovered, st.Corrupt, journalDir)
+	}
+	fmt.Printf("campd store listening on %s\n", bound)
+	waitInterrupt()
+	srv.Close()
+	st := store.Stats()
+	fmt.Fprintf(os.Stderr, "store: %d entries, %d claims outstanding\n", st.Entries, st.Claims)
+	return 0
+}
+
+func runWorker(id, addr string, pts []campaign.Point, client *dist.StoreClient, parallel int, scfg repro.SweepConfig) int {
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "campd: worker mode needs -id")
+		return 2
+	}
+	w := dist.NewWorker(dist.WorkerConfig{
+		ID:           id,
+		Points:       pts,
+		Store:        client,
+		Workers:      parallel,
+		StageTimeout: scfg.StageTimeout,
+	})
+	bound, err := w.Start(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("campd worker %s listening on %s (%d points known)\n", id, bound, len(pts))
+	waitInterrupt()
+	w.Close()
+	fmt.Fprintf(os.Stderr, "worker %s: %d points completed\n", id, w.Completed())
+	return 0
+}
+
+func runCoord(nodeList string, pts []campaign.Point, scfg repro.SweepConfig, client *dist.StoreClient, parallel int) int {
+	var nodes []dist.Node
+	for _, entry := range strings.Split(nodeList, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		nid, url, ok := strings.Cut(entry, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "campd: bad -nodes entry %q (want id=url)\n", entry)
+			return 2
+		}
+		nodes = append(nodes, dist.Node{ID: nid, URL: url, Slots: campaign.Workers(parallel)})
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "campd: coord mode needs -nodes id=url[,id=url...]")
+		return 2
+	}
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Points: pts, Nodes: nodes, Store: client,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	results, err := coord.Run(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
+		return 1
+	}
+	res := repro.SweepResult{Points: make([]repro.SweepPoint, len(results))}
+	for i, r := range results {
+		res.Points[i] = repro.SweepPoint{
+			FreqGHz:    pts[i].Options.TargetFreqGHz,
+			Seed:       pts[i].Options.Seed,
+			Met:        r.Met,
+			WNSPs:      r.WNSPs,
+			AreaUm2:    r.AreaUm2,
+			PowerNW:    r.PowerNW,
+			MaxFreqGHz: r.MaxFreqGHz,
+		}
+	}
+	res.Print(os.Stdout)
+	st := coord.Stats()
+	fmt.Fprintf(os.Stderr, "coord: %d points, %d node deaths, %d reassigned\n",
+		len(results), st.Deaths, st.Reassigned)
+	return 0
+}
+
+func waitInterrupt() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

@@ -6,9 +6,24 @@
 //
 //	metricsd -addr 127.0.0.1:8800          # serve until interrupted
 //	metricsd -demo [-scale small|paper]    # end-to-end loop, then exit
+//	metricsd -addr 127.0.0.1:8800 -frontdoor [-campaign-slots 2]
+//
+// With -frontdoor the server also accepts campaign submissions:
+//
+//	POST /v1/campaigns {"tenant":"t1","spec":{"design":"tiny","freq":0.5,
+//	                    "seed":1,"seeds":4,"workers":2,"dist_nodes":0}}
+//	GET  /v1/campaigns              all campaigns
+//	GET  /v1/campaigns/{id}         one campaign's status + summary
+//	GET  /v1/campaigns/{id}/events  SSE point/state stream
+//
+// Admission is bounded (-campaign-queue) and running slots are shared
+// fairly across tenants (-campaign-slots). A spec with dist_nodes > 0
+// runs through the distributed campaign service over loopback nodes.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +38,9 @@ func main() {
 	demo := flag.Bool("demo", false, "run the end-to-end METRICS loop and exit")
 	scale := flag.String("scale", "small", "demo scale: small or paper")
 	seed := flag.Int64("seed", 1, "demo seed")
+	frontdoor := flag.Bool("frontdoor", false, "accept campaign submissions on /v1/campaigns")
+	campaignSlots := flag.Int("campaign-slots", 1, "concurrently running campaigns (front door)")
+	campaignQueue := flag.Int("campaign-queue", 16, "max queued campaigns before 429 (front door)")
 	flag.Parse()
 
 	if *demo {
@@ -40,6 +58,9 @@ func main() {
 	}
 
 	srv := metrics.NewServer(nil)
+	if *frontdoor {
+		srv.FrontDoor = metrics.NewFrontDoor(metrics.RunnerFunc(runCampaignSpec), *campaignSlots, *campaignQueue)
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -47,10 +68,101 @@ func main() {
 	}
 	fmt.Printf("METRICS server listening on %s\n", bound)
 	fmt.Printf("POST XML records to http://%s/collect; query /records and /stats\n", bound)
+	if *frontdoor {
+		fmt.Printf("campaign front door on http://%s/v1/campaigns (%d slots, queue %d)\n",
+			bound, *campaignSlots, *campaignQueue)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	srv.Close()
 	acc, rej := srv.Received()
 	fmt.Printf("shutting down: %d records stored, %d accepted, %d rejected\n", srv.Store.Len(), acc, rej)
+}
+
+// campaignSpec is the front door's submission payload: the same sweep
+// shape the sprflow and campd CLIs expose as flags.
+type campaignSpec struct {
+	Design    string  `json:"design"` // pulpino, cpu, artificial, tiny
+	Freq      float64 `json:"freq"`
+	Seed      int64   `json:"seed"`
+	Seeds     int     `json:"seeds"`
+	Effort    int     `json:"effort"`
+	Workers   int     `json:"workers"`
+	DistNodes int     `json:"dist_nodes"`
+}
+
+// campaignSummary is the terminal summary stored on the campaign.
+type campaignSummary struct {
+	Points int `json:"points"`
+	Met    int `json:"met"`
+}
+
+// runCampaignSpec is the injected CampaignRunner: it parses the opaque
+// spec and runs the sweep — distributed when dist_nodes asks for it.
+// Point events are emitted after the run (the engine reports results as
+// a batch); the status endpoint remains the lossless view.
+func runCampaignSpec(ctx context.Context, raw json.RawMessage, onPoint func(index, total int)) (json.RawMessage, error) {
+	var spec campaignSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("bad campaign spec: %w", err)
+	}
+	if spec.Design == "" {
+		spec.Design = "tiny"
+	}
+	if spec.Freq <= 0 {
+		spec.Freq = 0.5
+	}
+	if spec.Seeds <= 0 {
+		spec.Seeds = 2
+	}
+	if spec.Effort == 0 {
+		spec.Effort = 2
+	}
+	var ds repro.DesignSpec
+	switch spec.Design {
+	case "pulpino":
+		ds = repro.PulpinoProxy(spec.Seed)
+	case "cpu":
+		ds = repro.EmbeddedCPU(spec.Seed)
+	case "artificial":
+		ds = repro.Artificial(spec.Seed)
+	case "tiny":
+		ds = repro.TinyDesign(spec.Seed)
+	default:
+		return nil, fmt.Errorf("unknown design %q", spec.Design)
+	}
+	seeds := make([]int64, spec.Seeds)
+	for i := range seeds {
+		seeds[i] = spec.Seed + int64(i)
+	}
+	scfg := repro.SweepConfig{
+		Design:  repro.NewDesign(repro.DefaultLibrary(), ds),
+		Base:    repro.FlowOptions{SynthEffort: spec.Effort},
+		Freqs:   []float64{0.8 * spec.Freq, spec.Freq, 1.2 * spec.Freq},
+		Seeds:   seeds,
+		Workers: spec.Workers,
+	}
+	var res repro.SweepResult
+	var err error
+	if spec.DistNodes > 0 {
+		res, err = repro.DistSweep(repro.DistSweepConfig{SweepConfig: scfg, Nodes: spec.DistNodes})
+	} else {
+		res, err = repro.Sweep(scfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	met := 0
+	for i, p := range res.Points {
+		onPoint(i, len(res.Points))
+		if p.Met {
+			met++
+		}
+	}
+	out, err := json.Marshal(campaignSummary{Points: len(res.Points), Met: met})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

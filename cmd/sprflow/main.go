@@ -7,6 +7,7 @@
 //	sprflow -design pulpino -freq 0.6 -seed 1 [-effort 2] [-robot]
 //	sprflow -design tiny -sweep 4 [-parallel N] [-journal DIR] [-resume]
 //	sprflow -design tiny -sweep 4 -speculate [-spec-tol 1]
+//	sprflow -design tiny -sweep 4 -dist-nodes 4 [-journal DIR]
 //	sprflow -design tiny -sweep 4 -trace trace.json -metrics-addr :8080
 //
 // A -sweep runs the full frequency x seed cross on the campaign engine
@@ -14,6 +15,14 @@
 // goes to stderr). With -journal DIR every completed point is durable:
 // kill -9 the sweep at any moment, rerun it with -resume, and the
 // output is byte-identical to the uninterrupted run.
+//
+// With -dist-nodes N the sweep runs through the distributed campaign
+// service instead: a loopback result store, N worker nodes (each with
+// -parallel local workers), and a coordinator sharding points by
+// content key. stdout is byte-identical to the single-process sweep at
+// any node count; -journal DIR becomes the shared store's WAL, so a
+// killed deployment rerun with the same flags recomputes only the
+// points that never reached the store.
 //
 // With -speculate the sweep overlaps downstream stages on predicted
 // upstream artifacts drawn from a sweep-local artifact memory; commit
@@ -56,6 +65,7 @@ func run() int {
 	journalDir := flag.String("journal", "", "durable journal directory for -sweep (enables checkpoint/resume)")
 	resume := flag.Bool("resume", false, "resume a killed -sweep from its -journal (same flags required)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
+	distNodes := flag.Int("dist-nodes", 0, "run -sweep through the distributed campaign service with this many loopback worker nodes (0 = single-process; stdout identical either way)")
 	speculate := flag.Bool("speculate", false, "overlap downstream flow stages on predicted upstream artifacts during -sweep (committed results identical to a non-speculative sweep)")
 	specTol := flag.Float64("spec-tol", 0, "speculative commit tolerance on predicted stage scalars, percent (0 = default 1)")
 	placeWorkers := flag.Int("place-workers", 0, "speculative parallel annealer workers (0 = serial placer; results identical at any count >= 1)")
@@ -96,6 +106,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-speculate requires -sweep (a single run has no prior artifacts to predict from)")
 		return 2
 	}
+	if *distNodes > 0 && *sweep <= 0 {
+		fmt.Fprintln(os.Stderr, "-dist-nodes requires -sweep")
+		return 2
+	}
 	kernels := repro.FlowOptions{
 		SynthEffort:  *effort,
 		PlaceWorkers: *placeWorkers,
@@ -110,6 +124,7 @@ func run() int {
 			stageTimeout: *stageTimeout,
 			speculate:    *speculate,
 			specTol:      *specTol,
+			distNodes:    *distNodes,
 		})
 	}
 
@@ -162,6 +177,7 @@ type sweepConfig struct {
 	stageTimeout time.Duration
 	speculate    bool
 	specTol      float64
+	distNodes    int
 }
 
 // runSweep executes the crash-safe QOR sweep: nSeeds seeds at three
@@ -176,7 +192,7 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOpti
 	for i := range seeds {
 		seeds[i] = seed + int64(i)
 	}
-	res, err := repro.Sweep(repro.SweepConfig{
+	scfg := repro.SweepConfig{
 		Design:           d,
 		Base:             base,
 		Freqs:            freqs,
@@ -186,7 +202,14 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOpti
 		StageTimeout:     cfg.stageTimeout,
 		Speculate:        cfg.speculate,
 		SpecTolerancePct: cfg.specTol,
-	})
+	}
+	var res repro.SweepResult
+	var err error
+	if cfg.distNodes > 0 {
+		res, err = repro.DistSweep(repro.DistSweepConfig{SweepConfig: scfg, Nodes: cfg.distNodes})
+	} else {
+		res, err = repro.Sweep(scfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep failed: %v\n", err)
 		return 1

@@ -134,21 +134,9 @@ type SweepResult struct {
 // the same sweep after a kill reproduces the uninterrupted results
 // bit-identically at any worker count.
 func Sweep(cfg SweepConfig) (SweepResult, error) {
-	if cfg.Design == nil {
-		return SweepResult{}, fmt.Errorf("repro: Sweep: nil design")
-	}
-	if len(cfg.Freqs) == 0 || len(cfg.Seeds) == 0 {
-		return SweepResult{}, fmt.Errorf("repro: Sweep: empty frequency or seed set")
-	}
-	key := campaign.KeyFor(cfg.Design)
-	var pts []campaign.Point
-	for _, f := range cfg.Freqs {
-		base := cfg.Base
-		base.TargetFreqGHz = f
-		if cfg.Speculate {
-			base.Speculate = flow.SpecConfig{Enabled: true, TolerancePct: cfg.SpecTolerancePct}
-		}
-		pts = append(pts, campaign.Points(cfg.Design, key, base, cfg.Seeds)...)
+	pts, err := CampaignPoints(cfg)
+	if err != nil {
+		return SweepResult{}, err
 	}
 
 	ecfg := campaign.Config{
@@ -174,7 +162,6 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 	eng := campaign.New(ecfg)
 
 	var results []*flow.Result
-	var err error
 	if jrn != nil {
 		results, out.Resume, err = eng.Resume(context.Background(), pts)
 	} else {

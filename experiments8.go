@@ -1,0 +1,143 @@
+package repro
+
+// PR 8: campaign-as-a-service. The paper's schedule argument is about
+// fleets, not single machines — "typical SP&R flows can take up to
+// several days ... on current design sizes", so real campaigns shard
+// across many licenses on many hosts. This file promotes the crash-safe
+// sweep to the distributed service in internal/dist: a shared
+// WAL-backed result store, worker nodes running the unchanged campaign
+// engine with the store as their cache's network tier, and a
+// coordinator sharding points by content key. Byte-identity with the
+// single-node sweep is the whole contract: the output is assembled from
+// the store by content key, so node count, scheduling, even a worker
+// killed mid-point cannot change a byte of it.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/dist"
+	"repro/internal/flow"
+	"repro/internal/journal"
+)
+
+// CampaignPoints expands a SweepConfig into the campaign's point list —
+// the shared currency of the distributed service. The coordinator and
+// every worker derive the identical list from the same config, and the
+// single-node Sweep runs the same list, which is what makes the two
+// modes diffable byte-for-byte.
+func CampaignPoints(cfg SweepConfig) ([]campaign.Point, error) {
+	if cfg.Design == nil {
+		return nil, fmt.Errorf("repro: Sweep: nil design")
+	}
+	if len(cfg.Freqs) == 0 || len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("repro: Sweep: empty frequency or seed set")
+	}
+	key := campaign.KeyFor(cfg.Design)
+	var pts []campaign.Point
+	for _, f := range cfg.Freqs {
+		base := cfg.Base
+		base.TargetFreqGHz = f
+		if cfg.Speculate {
+			base.Speculate = flow.SpecConfig{Enabled: true, TolerancePct: cfg.SpecTolerancePct}
+		}
+		pts = append(pts, campaign.Points(cfg.Design, key, base, cfg.Seeds)...)
+	}
+	return pts, nil
+}
+
+// DistSweepConfig parameterizes a sharded sweep over in-process
+// loopback nodes. SweepConfig.Workers becomes the per-node concurrency
+// (each node models one licensed host), and JournalDir becomes the
+// shared store's WAL directory — kill the whole deployment, rerun, and
+// recovered points are served from the store instead of recomputed.
+type DistSweepConfig struct {
+	SweepConfig
+	// Nodes is the worker node count (<=0 = 1).
+	Nodes int
+}
+
+// DistSweep runs the sweep through the full coordinator/worker/store
+// service over loopback HTTP. Point results are byte-identical to
+// Sweep on the same config at any node count.
+func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
+	var out SweepResult
+	if cfg.Speculate {
+		// The speculation oracle is an in-process artifact memory;
+		// sharing it across nodes is future work.
+		return out, fmt.Errorf("repro: DistSweep: -speculate is not supported in dist mode")
+	}
+	pts, err := CampaignPoints(cfg.SweepConfig)
+	if err != nil {
+		return out, err
+	}
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+
+	store, err := dist.OpenStore(cfg.JournalDir, journal.Options{})
+	if err != nil {
+		return out, err
+	}
+	defer store.Close()
+	srv := dist.NewStoreServer(store)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	defer srv.Close()
+	client := dist.NewStoreClient("http://" + addr)
+	if cfg.JournalDir != "" {
+		out.Recovery = store.WALStats()
+		st := store.Stats()
+		out.Resume = ResumeStats{Replayed: st.Recovered, Corrupt: st.Corrupt}
+	}
+
+	var coordNodes []dist.Node
+	for i := 0; i < nodes; i++ {
+		id := fmt.Sprintf("w%d", i)
+		w := dist.NewWorker(dist.WorkerConfig{
+			ID:           id,
+			Points:       pts,
+			Store:        client,
+			Workers:      cfg.Workers,
+			StageTimeout: cfg.StageTimeout,
+		})
+		waddr, err := w.Start("127.0.0.1:0")
+		if err != nil {
+			return out, err
+		}
+		defer w.Close()
+		coordNodes = append(coordNodes, dist.Node{
+			ID: id, URL: "http://" + waddr, Slots: campaign.Workers(cfg.Workers),
+		})
+	}
+
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Points: pts, Nodes: coordNodes, Store: client,
+	})
+	if err != nil {
+		return out, err
+	}
+	results, err := coord.Run(context.Background())
+	if err != nil {
+		return out, err
+	}
+	out.JournalErr = store.Err()
+
+	out.Points = make([]SweepPoint, len(results))
+	for i, r := range results {
+		out.Points[i] = SweepPoint{
+			FreqGHz:    pts[i].Options.TargetFreqGHz,
+			Seed:       pts[i].Options.Seed,
+			Met:        r.Met,
+			WNSPs:      r.WNSPs,
+			AreaUm2:    r.AreaUm2,
+			PowerNW:    r.PowerNW,
+			MaxFreqGHz: r.MaxFreqGHz,
+		}
+	}
+	return out, nil
+}

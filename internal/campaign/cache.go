@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/metrics"
@@ -10,6 +9,22 @@ import (
 
 // shardCount is a power of two so shard selection is a mask.
 const shardCount = 32
+
+// Tier is a second memo tier behind the in-process cache — typically a
+// network result store shared by every node of a distributed campaign
+// (see internal/dist). DoRecorded consults it after an L1 miss and
+// writes freshly computed entries through to it before publishing them
+// to coalesced waiters, so by the time any caller sees a result the
+// shared tier already holds it.
+//
+// Load returns the entry for a key if the tier has it; Store offers a
+// computed entry to the tier (best-effort: the tier may drop it, e.g.
+// on a network fault — the computation itself is already safe in L1).
+// Implementations must be safe for concurrent use.
+type Tier interface {
+	Load(key string) (Entry, bool)
+	Store(e Entry)
+}
 
 // Cache memoizes flow results by content key: hash(design fingerprint,
 // Options) -> *flow.Result. Identical option points recur constantly
@@ -21,17 +36,28 @@ const shardCount = 32
 // The cache is sharded (mutex per shard) and coalesces concurrent
 // requests for the same key into a single computation. Cached results
 // are shared: callers must treat them — including Result.Netlist — as
-// immutable. Hit/miss/eviction counts are kept locally and mirrored
-// into the process-wide metrics registry (campaign.cache.* counters,
-// visible on the METRICS server's /stats endpoint).
+// immutable. Hit/miss/eviction counts live behind one counter mutex so
+// Stats and HitRate always see a coherent snapshot (no torn reads
+// between related counters); they are mirrored into the process-wide
+// metrics registry (campaign.cache.* counters, visible on the METRICS
+// server's /stats endpoint).
 type Cache struct {
 	capPerShard int
 	shards      [shardCount]cacheShard
+	tier        Tier
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
+	// cmu guards every counter below as one unit: a Stats snapshot taken
+	// between a miss increment and the matching insert must still satisfy
+	// the counters' mutual invariants (hits+misses = lookups completed,
+	// coalesced <= hits). Counter updates are two orders of magnitude
+	// cheaper than the flow runs they count, so one mutex is free.
+	cmu        sync.Mutex
+	hits       int64
+	misses     int64
+	coalesced  int64
+	evictions  int64
+	tierHits   int64
+	tierStores int64
 }
 
 type cacheShard struct {
@@ -76,6 +102,11 @@ func NewCache(capacity int) *Cache {
 	return c
 }
 
+// SetTier attaches a shared second tier consulted on L1 misses and
+// written through on computes. Call before the cache is in use (the
+// field is not synchronized against concurrent lookups).
+func (c *Cache) SetTier(t Tier) { c.tier = t }
+
 func (c *Cache) shard(key string) *cacheShard {
 	// FNV-1a over the key, folded to a shard index.
 	var h uint64 = 14695981039346656037
@@ -86,18 +117,39 @@ func (c *Cache) shard(key string) *cacheShard {
 	return &c.shards[h&(shardCount-1)]
 }
 
-// Get returns the cached result for a key, if present.
+// count applies one coherent counter update.
+func (c *Cache) count(f func(c *Cache)) {
+	c.cmu.Lock()
+	f(c)
+	c.cmu.Unlock()
+}
+
+func (c *Cache) countHit(coalesced bool) {
+	c.count(func(c *Cache) {
+		c.hits++
+		if coalesced {
+			c.coalesced++
+		}
+	})
+	metrics.Add("campaign.cache.hit", 1)
+	if coalesced {
+		metrics.Add("campaign.cache.coalesced", 1)
+	}
+}
+
+// Get returns the cached result for a key, if present. Get reads the
+// in-process tier only; the shared tier is consulted by DoRecorded,
+// where a miss has a compute to coalesce against.
 func (c *Cache) Get(key string) (*flow.Result, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
 	e, ok := s.entries[key]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
-		metrics.Add("campaign.cache.hit", 1)
+		c.countHit(false)
 		return e.res, true
 	}
-	c.misses.Add(1)
+	c.count(func(c *Cache) { c.misses++ })
 	metrics.Add("campaign.cache.miss", 1)
 	return nil, false
 }
@@ -130,20 +182,22 @@ func (c *Cache) Do(key string, compute func() *flow.Result) *flow.Result {
 	return res
 }
 
-// DoRecorded is Do with step-record capture and failure awareness:
-// compute returns the result plus the step records it emitted, which
-// are stored alongside the result and handed back on every future hit
-// (hit=true) so callers can replay them to their Observer. A compute
-// error is propagated to the caller and to every coalesced waiter, and
-// nothing is cached — a failed or aborted run must never be served as a
-// memoized result.
+// DoRecorded is Do with step-record capture, failure awareness and tier
+// awareness: compute returns the result plus the step records it
+// emitted, which are stored alongside the result and handed back on
+// every future hit (hit=true) so callers can replay them to their
+// Observer. With a Tier attached, an L1 miss first asks the tier —
+// a tier hit fills L1 and returns hit=true without computing — and a
+// fresh compute is written through to the tier before the call returns.
+// A compute error is propagated to the caller and to every coalesced
+// waiter, and nothing is cached — a failed or aborted run must never be
+// served as a memoized result.
 func (c *Cache) DoRecorded(key string, compute func() (*flow.Result, []flow.StepRecord, error)) (res *flow.Result, steps []flow.StepRecord, hit bool, err error) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
-		c.hits.Add(1)
-		metrics.Add("campaign.cache.hit", 1)
+		c.countHit(false)
 		return e.res, e.steps, true, nil
 	}
 	if call, ok := s.inflight[key]; ok {
@@ -155,19 +209,44 @@ func (c *Cache) DoRecorded(key string, compute func() (*flow.Result, []flow.Step
 			// again) rather than treating the point as memoized-failed.
 			return nil, nil, false, call.err
 		}
-		c.hits.Add(1)
-		c.coalesced.Add(1)
-		metrics.Add("campaign.cache.hit", 1)
-		metrics.Add("campaign.cache.coalesced", 1)
+		c.countHit(true)
 		return call.res, call.steps, true, nil
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	s.inflight[key] = call
 	s.mu.Unlock()
 
-	c.misses.Add(1)
+	if c.tier != nil {
+		if e, ok := c.tier.Load(key); ok {
+			// Served by the shared tier: fill L1 and resolve the waiters.
+			// This is a hit for this caller too — nothing was computed, so
+			// the engine must not journal or re-count it as fresh work.
+			call.res, call.steps = e.Res, e.Steps
+			c.count(func(c *Cache) { c.hits++; c.tierHits++ })
+			metrics.Add("campaign.cache.hit", 1)
+			metrics.Add("campaign.cache.tier_hit", 1)
+			s.mu.Lock()
+			delete(s.inflight, key)
+			c.insert(s, key, &cacheEntry{res: call.res, steps: call.steps})
+			s.mu.Unlock()
+			close(call.done)
+			return call.res, call.steps, true, nil
+		}
+	}
+
+	c.count(func(c *Cache) { c.misses++ })
 	metrics.Add("campaign.cache.miss", 1)
 	call.res, call.steps, call.err = compute()
+
+	if call.err == nil && c.tier != nil {
+		// Write through before publishing: when any caller of this key
+		// returns, the shared tier already holds the entry — the contract
+		// a distributed coordinator relies on when it fetches results by
+		// key after a worker acknowledges a point.
+		c.tier.Store(Entry{Key: key, Res: call.res, Steps: call.steps})
+		c.count(func(c *Cache) { c.tierStores++ })
+		metrics.Add("campaign.cache.tier_store", 1)
+	}
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -187,7 +266,7 @@ func (c *Cache) insert(s *cacheShard, key string, e *cacheEntry) {
 			oldest := s.order[0]
 			s.order = s.order[1:]
 			delete(s.entries, oldest)
-			c.evictions.Add(1)
+			c.count(func(c *Cache) { c.evictions++ })
 			metrics.Add("campaign.cache.evicted", 1)
 		}
 		s.order = append(s.order, key)
@@ -207,29 +286,44 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// CacheStats is a point-in-time counter snapshot.
+// CacheStats is a point-in-time counter snapshot. The counters are
+// captured atomically as a set, so their invariants hold in every
+// snapshot: Coalesced <= Hits, TierHits <= Hits, and Hits+Misses is the
+// number of completed lookups. Entries is gathered per shard afterwards
+// and may lag the counters by in-flight inserts.
 type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Coalesced int64 // subset of Hits served by waiting on an in-flight compute
-	Evictions int64
-	Entries   int
+	Hits       int64
+	Misses     int64
+	Coalesced  int64 // subset of Hits served by waiting on an in-flight compute
+	Evictions  int64
+	TierHits   int64 // subset of Hits served by the shared tier
+	TierStores int64 // computes written through to the shared tier
+	Entries    int
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters coherently.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
+	c.cmu.Lock()
+	st := CacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Coalesced:  c.coalesced,
+		Evictions:  c.evictions,
+		TierHits:   c.tierHits,
+		TierStores: c.tierStores,
 	}
+	c.cmu.Unlock()
+	st.Entries = c.Len()
+	return st
 }
 
-// HitRate returns hits / (hits + misses), or 0 before any lookup.
+// HitRate returns hits / (hits + misses), or 0 before any lookup. The
+// ratio is computed from one coherent snapshot, so it can never exceed
+// 1 even mid-storm.
 func (c *Cache) HitRate() float64 {
-	h, m := c.hits.Load(), c.misses.Load()
+	c.cmu.Lock()
+	h, m := c.hits, c.misses
+	c.cmu.Unlock()
 	if h+m == 0 {
 		return 0
 	}

@@ -44,6 +44,18 @@ type Point struct {
 // cacheKey is the full memo key: design content x canonical options.
 func (p Point) cacheKey() string { return p.DesignKey + "\x00" + p.Options.Key() }
 
+// CacheKey exposes the memo key for external tiers and coordinators:
+// the distributed campaign service shards points and addresses the
+// shared result store by exactly the key the in-process cache uses, so
+// a result computed anywhere is a hit everywhere. Empty when the point
+// has no DesignKey (uncacheable points cannot be distributed).
+func (p Point) CacheKey() string {
+	if p.DesignKey == "" {
+		return ""
+	}
+	return p.cacheKey()
+}
+
 // KeyFor derives a Point.DesignKey from the design's content
 // fingerprint, so two structurally identical designs share cache
 // entries and two different ones never collide on a name.

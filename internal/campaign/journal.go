@@ -36,18 +36,49 @@ type Entry struct {
 	Spec *flow.SpecStats
 }
 
+// EncodeEntry serializes an entry for the durable log or the network
+// result store — the one wire format a journaled point has, so a store
+// node and a local journal can exchange records byte-for-byte.
+func EncodeEntry(e Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("campaign: encode entry: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry parses an encoded entry, rejecting structurally empty
+// records (no key or no result) the same way journal recovery does.
+func DecodeEntry(data []byte) (Entry, error) {
+	var e Entry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return Entry{}, fmt.Errorf("campaign: decode entry: %w", err)
+	}
+	if e.Key == "" || e.Res == nil {
+		return Entry{}, fmt.Errorf("campaign: decode entry: missing key or result")
+	}
+	return e, nil
+}
+
 // Journal is the campaign-facing wrapper over the durable log: it
 // serializes entries with gob, deduplicates appends by key (a point
 // replayed from the journal is marked seen and never re-appended), and
 // turns append failures into a sticky error surfaced via Err — the
 // campaign itself keeps running, because losing durability must not
 // lose the live computation too.
+//
+// Lifecycle contract: Close waits for any in-flight record to land
+// (both hold the journal mutex), a record after Close is dropped but
+// surfaced via Err — never silently lost — and closing twice is safe
+// and returns the first close's outcome.
 type Journal struct {
 	log *journal.Log
 
-	mu   sync.Mutex
-	seen map[string]struct{}
-	err  error
+	mu       sync.Mutex
+	seen     map[string]struct{}
+	err      error
+	closed   bool
+	closeErr error
 }
 
 // OpenJournal opens (or creates) the campaign journal in dir, recovering
@@ -67,8 +98,8 @@ func OpenJournal(dir string, opts journal.Options) (*Journal, error) {
 // a corrupt entry costs one recompute, not the campaign.
 func (j *Journal) Entries() (entries []Entry, corrupt int) {
 	for _, rec := range j.log.Records() {
-		var e Entry
-		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&e); err != nil || e.Key == "" || e.Res == nil {
+		e, err := DecodeEntry(rec)
+		if err != nil {
 			corrupt++
 			continue
 		}
@@ -91,25 +122,32 @@ func (j *Journal) record(key string, res *flow.Result, steps []flow.StepRecord, 
 	sp := trace.Begin("campaign.journal.append")
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		// The entry is lost to durability (the campaign result itself is
+		// fine); a silent drop here would make Err lie about completeness.
+		j.fail(fmt.Errorf("campaign: journal append after close: %w", journal.ErrClosed))
+		sp.EndWith(trace.Failed)
+		return
+	}
 	if _, dup := j.seen[key]; dup {
 		metrics.Add("campaign.journal.duplicate", 1)
 		sp.EndWith(trace.CacheHit)
 		return
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(Entry{Key: key, Res: res, Steps: steps, Spec: spec}); err != nil {
-		j.fail(fmt.Errorf("campaign: encode journal entry: %w", err))
+	buf, err := EncodeEntry(Entry{Key: key, Res: res, Steps: steps, Spec: spec})
+	if err != nil {
+		j.fail(err)
 		sp.EndWith(trace.Failed)
 		return
 	}
-	if err := j.log.Append(buf.Bytes()); err != nil {
+	if err := j.log.Append(buf); err != nil {
 		j.fail(fmt.Errorf("campaign: journal append: %w", err))
 		sp.EndWith(trace.Failed)
 		return
 	}
 	j.seen[key] = struct{}{}
 	metrics.Add("campaign.journal.appended", 1)
-	sp.SetInt("bytes", int64(buf.Len()))
+	sp.SetInt("bytes", int64(len(buf)))
 	sp.End()
 }
 
@@ -142,8 +180,21 @@ func (j *Journal) Err() error {
 // SyncInterval/SyncNever policies).
 func (j *Journal) Sync() error { return j.log.Sync() }
 
-// Close syncs and closes the underlying log.
-func (j *Journal) Close() error { return j.log.Close() }
+// Close syncs and closes the underlying log. It serializes with
+// in-flight record calls (whichever holds the mutex first wins: an
+// append that beat Close is durable, one that lost is dropped and
+// surfaced via Err). Closing an already-closed journal is a no-op that
+// returns the first Close's error.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.closeErr
+	}
+	j.closed = true
+	j.closeErr = j.log.Close()
+	return j.closeErr
+}
 
 // ResumeStats reports what a resume replayed out of the journal.
 type ResumeStats struct {

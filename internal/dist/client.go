@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+// StoreClient talks to a StoreServer and implements campaign.Tier, so a
+// worker's in-process cache gains the network tier with one SetTier
+// call: L1 miss → HTTP get; fresh compute → HTTP put (write-through).
+// Tier faults are counted and absorbed — a flaky store degrades a node
+// to recomputing, it never fails a campaign.
+type StoreClient struct {
+	base   string
+	client *http.Client
+}
+
+// NewStoreClient creates a client for a store base URL
+// (e.g. "http://127.0.0.1:7600").
+func NewStoreClient(baseURL string) *StoreClient {
+	return &StoreClient{base: baseURL, client: &http.Client{}}
+}
+
+// BaseURL returns the store base URL.
+func (c *StoreClient) BaseURL() string { return c.base }
+
+func (c *StoreClient) entryURL(key string) string {
+	return c.base + "/v1/entry?key=" + url.QueryEscape(key)
+}
+
+// Load implements campaign.Tier: fetch and decode the entry for key.
+func (c *StoreClient) Load(key string) (campaign.Entry, bool) {
+	resp, err := c.client.Get(c.entryURL(key))
+	if err != nil {
+		metrics.Add("dist.client.get_err", 1)
+		return campaign.Entry{}, false
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return campaign.Entry{}, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	if err != nil {
+		metrics.Add("dist.client.get_err", 1)
+		return campaign.Entry{}, false
+	}
+	e, err := campaign.DecodeEntry(data)
+	if err != nil {
+		metrics.Add("dist.client.decode_err", 1)
+		return campaign.Entry{}, false
+	}
+	return e, true
+}
+
+// Store implements campaign.Tier: encode and upload a computed entry.
+// Best-effort by contract — failures are counted, never propagated.
+func (c *StoreClient) Store(e campaign.Entry) {
+	data, err := campaign.EncodeEntry(e)
+	if err != nil {
+		metrics.Add("dist.client.encode_err", 1)
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, c.entryURL(e.Key), bytes.NewReader(data))
+	if err != nil {
+		metrics.Add("dist.client.put_err", 1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		metrics.Add("dist.client.put_err", 1)
+		return
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		metrics.Add("dist.client.put_err", 1)
+	}
+}
+
+// Claim asks the store for the right to compute key on node's behalf.
+func (c *StoreClient) Claim(key, node string) (ClaimState, error) {
+	u := fmt.Sprintf("%s/v1/claim?key=%s&node=%s", c.base, url.QueryEscape(key), url.QueryEscape(node))
+	resp, err := c.client.Post(u, "", nil)
+	if err != nil {
+		return ClaimState{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return ClaimState{}, fmt.Errorf("dist: claim returned %s", resp.Status)
+	}
+	var st ClaimState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ClaimState{}, err
+	}
+	return st, nil
+}
+
+// ReleaseClaim abandons node's claim on key (best-effort).
+func (c *StoreClient) ReleaseClaim(key, node string) {
+	u := fmt.Sprintf("%s/v1/release?key=%s&node=%s", c.base, url.QueryEscape(key), url.QueryEscape(node))
+	if resp, err := c.client.Post(u, "", nil); err == nil {
+		drain(resp)
+	}
+}
+
+// ReleaseNode revokes every claim node holds — the coordinator's
+// dead-node call. Unlike the tier methods this one propagates errors:
+// reassigning points while a ghost still holds claims would stall the
+// replacement workers in their wait loops.
+func (c *StoreClient) ReleaseNode(node string) (int, error) {
+	u := c.base + "/v1/release-node?node=" + url.QueryEscape(node)
+	resp, err := c.client.Post(u, "", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("dist: release-node returned %s", resp.Status)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out["released"], nil
+}
+
+// drain consumes and closes a response body so the client's keep-alive
+// pool can reuse the connection.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+}

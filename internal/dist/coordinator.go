@@ -1,0 +1,459 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+	"repro/internal/flow"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Node describes one worker node the coordinator can dispatch to.
+type Node struct {
+	// ID is the node's ring identity (must match the worker's own ID).
+	ID string
+	// URL is the worker's base URL (e.g. "http://127.0.0.1:7601").
+	URL string
+	// Slots is how many points the node runs concurrently (<=0 = 1) —
+	// its license count as seen from the coordinator.
+	Slots int
+}
+
+// CoordinatorConfig parameterizes a campaign coordinator.
+type CoordinatorConfig struct {
+	// Points is the campaign, in output order. Every point must carry a
+	// design key (uncacheable points cannot be addressed by content).
+	Points []campaign.Point
+	// Nodes are the worker nodes to shard over.
+	Nodes []Node
+	// Store fetches the final results (and revokes dead nodes' claims).
+	Store *StoreClient
+	// Replicas is the ring's virtual-node count per node (0 = 64).
+	Replicas int
+	// Ledger, when non-nil, is an externally shared slot ledger (e.g.
+	// the front door's per-tenant pool); nil builds a private one sized
+	// to the nodes' slot sum.
+	Ledger *sched.Ledger
+}
+
+// Coordinator shards a campaign across worker nodes by consistent
+// hashing over each point's content key, dispatches over HTTP with
+// per-node slot accounting, lets idle nodes steal queued points when
+// the hash split is uneven, reassigns a dead node's points to the
+// survivors, and assembles the final result list by fetching every
+// point's entry from the store — which is what makes the output
+// byte-identical to a single-node run at any node count.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	ring   *Ring
+	ledger *sched.Ledger
+	keys   []string
+	client *http.Client
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	live      map[string]bool
+	urls      map[string]string
+	queues    map[string][]int
+	remaining int
+	done      bool
+	fatal     error
+	failed    []campaign.PointError
+
+	deaths     atomic.Int64
+	reassigned atomic.Int64
+	stolen     atomic.Int64
+}
+
+// NewCoordinator validates the config and builds the ring.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("dist: coordinator needs at least one node")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("dist: coordinator needs a store client")
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 64
+	}
+	ids := make([]string, 0, len(cfg.Nodes))
+	urls := make(map[string]string, len(cfg.Nodes))
+	total := 0
+	for _, n := range cfg.Nodes {
+		if n.ID == "" || n.URL == "" {
+			return nil, fmt.Errorf("dist: node needs ID and URL")
+		}
+		if _, dup := urls[n.ID]; dup {
+			return nil, fmt.Errorf("dist: duplicate node ID %q", n.ID)
+		}
+		ids = append(ids, n.ID)
+		urls[n.ID] = strings.TrimSuffix(n.URL, "/")
+		total += nodeSlots(n)
+	}
+	keys := make([]string, len(cfg.Points))
+	for i, p := range cfg.Points {
+		keys[i] = p.CacheKey()
+		if keys[i] == "" {
+			return nil, fmt.Errorf("dist: point %d has no design key", i)
+		}
+	}
+	ledger := cfg.Ledger
+	if ledger == nil {
+		ledger = sched.NewLedger(total)
+	}
+	for _, n := range cfg.Nodes {
+		ledger.SetWeight(n.ID, nodeSlots(n))
+	}
+	c := &Coordinator{
+		cfg: cfg, ring: NewRing(ids, replicas), ledger: ledger,
+		keys: keys, client: &http.Client{},
+		live: map[string]bool{}, urls: urls, queues: map[string][]int{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, id := range ids {
+		c.live[id] = true
+	}
+	return c, nil
+}
+
+func nodeSlots(n Node) int {
+	if n.Slots <= 0 {
+		return 1
+	}
+	return n.Slots
+}
+
+// Ledger exposes the slot ledger (for stats).
+func (c *Coordinator) Ledger() *sched.Ledger { return c.ledger }
+
+// CoordStats is a snapshot of the coordinator's accounting.
+type CoordStats struct {
+	Deaths     int64 `json:"deaths"`
+	Reassigned int64 `json:"reassigned"`
+	// Stolen counts points an idle node's slot pulled from another
+	// node's queue (shard-imbalance absorption, not failure handling).
+	Stolen int64 `json:"stolen"`
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() CoordStats {
+	return CoordStats{
+		Deaths:     c.deaths.Load(),
+		Reassigned: c.reassigned.Load(),
+		Stolen:     c.stolen.Load(),
+	}
+}
+
+// Run executes the campaign and returns one result per point, in point
+// order — the same contract as campaign.Engine.Run, including the
+// *campaign.RunError carrying the index of every permanently failed
+// point (whose result slot is nil).
+func (c *Coordinator) Run(ctx context.Context) ([]*flow.Result, error) {
+	ctx, sp := trace.Start(ctx, "dist.coordinate")
+	defer sp.End()
+	sp.SetInt("points", int64(len(c.cfg.Points)))
+	sp.SetInt("nodes", int64(len(c.cfg.Nodes)))
+
+	c.mu.Lock()
+	c.remaining = len(c.cfg.Points)
+	for i := range c.cfg.Points {
+		owner, ok := c.ring.Owner(c.keys[i], nil)
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("dist: empty ring")
+		}
+		c.queues[owner] = append(c.queues[owner], i)
+	}
+	if c.remaining == 0 {
+		c.done = true
+	}
+	c.mu.Unlock()
+
+	// Wake queue waiters when the context dies (cond has no native
+	// cancellation).
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+
+	var wg sync.WaitGroup
+	for _, n := range c.cfg.Nodes {
+		for s := 0; s < nodeSlots(n); s++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				c.runner(ctx, id)
+			}(n.ID)
+		}
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	fatal := c.fatal
+	failed := append([]campaign.PointError(nil), c.failed...)
+	remaining := c.remaining
+	c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if fatal != nil {
+		return nil, fatal
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("dist: %d points unfinished with no live node", remaining)
+	}
+	return c.assemble(failed)
+}
+
+// runner is one remote slot's dispatch loop for node id.
+func (c *Coordinator) runner(ctx context.Context, id string) {
+	for {
+		idx, ok := c.next(ctx, id)
+		if !ok {
+			return
+		}
+		if err := c.ledger.Acquire(ctx, id); err != nil {
+			return // context died; Run reports ctx.Err
+		}
+		if !c.isLive(id) {
+			// The node died while we waited for a slot; hand the point
+			// to its new owner and retire this runner.
+			c.ledger.Release(id)
+			c.reassign(idx)
+			return
+		}
+		status, body, err := c.dispatch(ctx, id, idx)
+		c.ledger.Release(id)
+		switch {
+		case err == nil && status == http.StatusOK:
+			c.finish(idx)
+		case err == nil && status == http.StatusUnprocessableEntity:
+			// The point failed permanently on a healthy node — record
+			// it, don't punish the node.
+			c.fail(idx, fmt.Errorf("dist: point %d failed on %s: %s", idx, id, strings.TrimSpace(body)))
+		default:
+			// Transport error or a node-level failure: declare the node
+			// dead, free its claims, reshard its points.
+			if err == nil {
+				err = fmt.Errorf("dist: node %s returned %d: %s", id, status, strings.TrimSpace(body))
+			}
+			c.markDead(id, err)
+			c.reassign(idx)
+			return
+		}
+	}
+}
+
+// next pops the next queued index for node id, blocking while the queue
+// is empty. ok is false when the runner should retire: campaign done,
+// context dead, or node dead with an empty queue.
+func (c *Coordinator) next(ctx context.Context, id string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.done || ctx.Err() != nil {
+			return 0, false
+		}
+		if q := c.queues[id]; len(q) > 0 {
+			if !c.live[id] {
+				return 0, false // markDead drains the queue; don't race it
+			}
+			c.queues[id] = q[1:]
+			return q[0], true
+		}
+		if !c.live[id] {
+			return 0, false
+		}
+		if idx, ok := c.stealLocked(id); ok {
+			return idx, true
+		}
+		c.cond.Wait()
+	}
+}
+
+// stealLocked (mu held) takes the tail of the longest other live queue
+// for an idle slot on node id. The ring is a locality policy, not a
+// correctness one — any node can compute any point, and the output is
+// assembled from the store by content key — so idle licenses drain an
+// uneven shard split's stragglers instead of watching them. The owner
+// pops from the head and the thief from the tail, so they never chase
+// the same point.
+func (c *Coordinator) stealLocked(id string) (int, bool) {
+	victim := ""
+	for nid, q := range c.queues {
+		if nid == id || !c.live[nid] || len(q) == 0 {
+			continue
+		}
+		if victim == "" || len(q) > len(c.queues[victim]) ||
+			(len(q) == len(c.queues[victim]) && nid < victim) {
+			victim = nid
+		}
+	}
+	if victim == "" {
+		return 0, false
+	}
+	q := c.queues[victim]
+	idx := q[len(q)-1]
+	c.queues[victim] = q[:len(q)-1]
+	c.stolen.Add(1)
+	metrics.Add("dist.coord.stolen", 1)
+	return idx, true
+}
+
+func (c *Coordinator) isLive(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live[id]
+}
+
+// finish marks one point complete.
+func (c *Coordinator) finish(idx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remaining--
+	metrics.Add("dist.coord.completed", 1)
+	if c.remaining == 0 {
+		c.done = true
+		c.cond.Broadcast()
+	}
+}
+
+// fail records one point's permanent failure.
+func (c *Coordinator) fail(idx int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failed = append(c.failed, campaign.PointError{Index: idx, Err: err})
+	c.remaining--
+	metrics.Add("dist.coord.point_failed", 1)
+	if c.remaining == 0 {
+		c.done = true
+		c.cond.Broadcast()
+	}
+}
+
+// markDead declares a node lost: mark it, revoke its store claims so
+// replacement workers are granted instead of waiting on a ghost, and
+// reshard its queued points onto the survivors. Idempotent — every
+// runner of a dying node reports in, only the first does the work.
+func (c *Coordinator) markDead(id string, cause error) {
+	c.mu.Lock()
+	if !c.live[id] {
+		c.mu.Unlock()
+		return
+	}
+	c.live[id] = false
+	orphans := c.queues[id]
+	delete(c.queues, id)
+	c.mu.Unlock()
+
+	c.deaths.Add(1)
+	metrics.Add("dist.coord.node_dead", 1)
+	sp := trace.Begin("dist.coord.node_dead")
+	sp.Set("node", id)
+	// Claims first, reassignment second: a replacement worker must
+	// never find the ghost still holding its key.
+	if _, err := c.cfg.Store.ReleaseNode(id); err != nil {
+		metrics.Add("dist.coord.release_node_err", 1)
+	}
+	sp.EndErr(cause)
+	for _, idx := range orphans {
+		c.reassign(idx)
+	}
+}
+
+// reassign hands a point to the key's owner among the surviving nodes.
+func (c *Coordinator) reassign(idx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner, ok := c.ring.Owner(c.keys[idx], c.live)
+	if !ok {
+		if c.fatal == nil {
+			c.fatal = fmt.Errorf("dist: no live node to run point %d", idx)
+		}
+		c.done = true
+		c.cond.Broadcast()
+		return
+	}
+	c.queues[owner] = append(c.queues[owner], idx)
+	c.reassigned.Add(1)
+	metrics.Add("dist.coord.reassigned", 1)
+	c.cond.Broadcast()
+}
+
+// dispatch sends one run request to a node.
+func (c *Coordinator) dispatch(ctx context.Context, id string, idx int) (status int, body string, err error) {
+	payload, _ := json.Marshal(runRequest{Index: idx})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[id]+"/v1/run", bytes.NewReader(payload))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode, string(b), nil
+}
+
+// assemble fetches every completed point's entry from the store, in
+// point order — the single source of truth that makes sharded output
+// byte-identical to the single-node reference.
+func (c *Coordinator) assemble(failed []campaign.PointError) ([]*flow.Result, error) {
+	failedAt := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		failedAt[f.Index] = true
+	}
+	results := make([]*flow.Result, len(c.cfg.Points))
+	// Fetches fan out (each one is an independent HTTP get plus a gob
+	// decode of a full result, the dominant fixed cost of a large
+	// campaign when done serially); every result lands in its own index
+	// and the lowest missing index is reported, so concurrency cannot
+	// change the output or the error.
+	missing := make([]bool, len(c.cfg.Points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := range c.cfg.Points {
+		if failedAt[i] {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e, ok := c.cfg.Store.Load(c.keys[i])
+			if !ok {
+				missing[i] = true
+				return
+			}
+			results[i] = e.Res
+		}(i)
+	}
+	wg.Wait()
+	for i, m := range missing {
+		if m {
+			return nil, fmt.Errorf("dist: point %d completed but store has no entry for %s", i, c.keys[i])
+		}
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(i, j int) bool { return failed[i].Index < failed[j].Index })
+		return results, &campaign.RunError{Failed: failed}
+	}
+	return results, nil
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// httpNode is the shared serve/close plumbing of the dist services
+// (store server, worker). Start and Close are safe to race: whichever
+// takes the lock first wins, Close is idempotent, and Start after Close
+// fails instead of leaking a listener nobody will ever stop.
+type httpNode struct {
+	mu     sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	closed bool
+}
+
+// start begins serving h on addr and returns the bound address.
+func (n *httpNode) start(addr string, h http.Handler) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return "", fmt.Errorf("dist: node is closed")
+	}
+	if n.srv != nil {
+		return "", fmt.Errorf("dist: node already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	n.ln = ln
+	n.srv = &http.Server{Handler: h}
+	go n.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// close stops the node abortively (in-flight connections are killed —
+// the semantics a worker "kill" needs). Idempotent.
+func (n *httpNode) close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	if n.srv != nil {
+		return n.srv.Close()
+	}
+	return nil
+}
+
+// addr returns the bound address ("" before start).
+func (n *httpNode) addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}

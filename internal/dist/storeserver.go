@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// StoreServer exposes a Store over HTTP — the central box every worker
+// and coordinator talks to:
+//
+//	GET  /v1/entry?key=K          encoded entry bytes | 404
+//	PUT  /v1/entry?key=K          body = encoded entry; {"stored":bool}
+//	POST /v1/claim?key=K&node=N   ClaimState JSON
+//	POST /v1/release?key=K&node=N release one claim
+//	POST /v1/release-node?node=N  {"released":n} — dead-node revocation
+//	GET  /v1/stats                StoreStats JSON
+//	GET  /healthz                 "ok"
+type StoreServer struct {
+	store *Store
+	node  httpNode
+}
+
+// maxEntryBytes bounds one uploaded entry (matches the WAL's own record
+// bound so an accepted put can always be journaled).
+const maxEntryBytes = 1 << 28
+
+// NewStoreServer wraps a store.
+func NewStoreServer(store *Store) *StoreServer {
+	return &StoreServer{store: store}
+}
+
+// Store returns the underlying store.
+func (s *StoreServer) Store() *Store { return s.store }
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *StoreServer) Start(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/entry", s.handleEntry)
+	mux.HandleFunc("/v1/claim", s.handleClaim)
+	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/release-node", s.handleReleaseNode)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", handleHealthz)
+	return s.node.start(addr, mux)
+}
+
+// Addr returns the bound address.
+func (s *StoreServer) Addr() string { return s.node.addr() }
+
+// Close stops serving (idempotent; the store itself stays usable and is
+// closed separately so its WAL outlives the listener).
+func (s *StoreServer) Close() error { return s.node.close() }
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+func (s *StoreServer) handleEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, ok := s.store.Get(key)
+		if !ok {
+			http.Error(w, "no entry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data) //nolint:errcheck
+	case http.MethodPut, http.MethodPost:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxEntryBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		stored, err := s.store.Put(key, data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]bool{"stored": stored})
+	default:
+		http.Error(w, "GET or PUT required", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *StoreServer) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	key, node := r.URL.Query().Get("key"), r.URL.Query().Get("node")
+	if key == "" || node == "" {
+		http.Error(w, "missing key or node", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.store.Claim(key, node))
+}
+
+func (s *StoreServer) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	key, node := r.URL.Query().Get("key"), r.URL.Query().Get("node")
+	if key == "" || node == "" {
+		http.Error(w, "missing key or node", http.StatusBadRequest)
+		return
+	}
+	s.store.ReleaseClaim(key, node)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *StoreServer) handleReleaseNode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]int{"released": s.store.ReleaseNode(node)})
+}
+
+func (s *StoreServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}

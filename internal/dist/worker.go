@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Worker is one campaign node: it holds the campaign's point list (every
+// node derives the identical list from the campaign spec), runs assigned
+// points through an unchanged campaign.Engine whose cache is tiered onto
+// the shared result store, and answers the coordinator's run requests.
+//
+//	POST /v1/run   {"index":i} -> {"key":K} | 422 point failed | 5xx
+//	GET  /v1/stats worker + cache counters
+//	GET  /healthz  "ok"
+type Worker struct {
+	cfg    WorkerConfig
+	engine *campaign.Engine
+	node   httpNode
+
+	runs      atomic.Int64
+	completed atomic.Int64
+}
+
+// WorkerConfig parameterizes a worker node.
+type WorkerConfig struct {
+	// ID is the node's stable identity on the ring and in store claims.
+	ID string
+	// Points is the campaign's full point list; the coordinator
+	// addresses work by index into it. Every node and the coordinator
+	// must derive the identical list from the campaign spec — content
+	// keys make any divergence harmless (a mismatched point is computed
+	// under its own key, never served under another's).
+	Points []campaign.Point
+	// Store is the shared result store (required): the cache's network
+	// tier and the claims arbiter.
+	Store *StoreClient
+	// Workers is the node's local license pool (<=0 = one per CPU).
+	Workers int
+	// StageTimeout arms the per-stage hung-tool watchdog (0 = off).
+	StageTimeout time.Duration
+	// Retry re-runs points that fail with a tool fault, as in
+	// campaign.Config.
+	Retry campaign.Retry
+	// KillOnRun, for tests, abortively closes the node when run request
+	// number KillOnRun (1-based) arrives — before the point computes —
+	// simulating a worker killed mid-point with a claim in hand.
+	KillOnRun int
+	// ClaimPoll is the wait between polls of a held claim (0 = 5ms).
+	ClaimPoll time.Duration
+}
+
+// NewWorker builds a worker whose engine caches through the store.
+func NewWorker(cfg WorkerConfig) *Worker {
+	cache := campaign.NewCache(0)
+	cache.SetTier(cfg.Store)
+	eng := campaign.New(campaign.Config{
+		Workers:      campaign.Workers(cfg.Workers),
+		Cache:        cache,
+		Retry:        cfg.Retry,
+		StageTimeout: cfg.StageTimeout,
+	})
+	return &Worker{cfg: cfg, engine: eng}
+}
+
+// Start begins listening ("127.0.0.1:0" for ephemeral) and returns the
+// bound address.
+func (w *Worker) Start(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", w.handleRun)
+	mux.HandleFunc("/v1/stats", w.handleStats)
+	mux.HandleFunc("/healthz", handleHealthz)
+	return w.node.start(addr, mux)
+}
+
+// Addr returns the bound address.
+func (w *Worker) Addr() string { return w.node.addr() }
+
+// Close stops the node abortively (in-flight requests die — the "kill"
+// semantics the reassignment path is built for). Idempotent.
+func (w *Worker) Close() error { return w.node.close() }
+
+// Completed reports how many run requests this node finished.
+func (w *Worker) Completed() int64 { return w.completed.Load() }
+
+// runRequest is the /v1/run body.
+type runRequest struct {
+	Index int `json:"index"`
+}
+
+func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	n := w.runs.Add(1)
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Index < 0 || req.Index >= len(w.cfg.Points) {
+		http.Error(rw, "index out of range", http.StatusBadRequest)
+		return
+	}
+	p := w.cfg.Points[req.Index]
+	key := p.CacheKey()
+	if key == "" {
+		http.Error(rw, "point has no design key (uncacheable points cannot be distributed)", http.StatusBadRequest)
+		return
+	}
+	if w.cfg.KillOnRun > 0 && n == int64(w.cfg.KillOnRun) {
+		// Simulated mid-point kill: take the compute claim, then die
+		// without computing or releasing — the ghost-claim state the
+		// coordinator must revoke before reassigning, or the point's
+		// next owner waits on a dead holder forever.
+		w.cfg.Store.Claim(key, w.cfg.ID) //nolint:errcheck
+		w.Close()                        //nolint:errcheck
+		return
+	}
+	ctx, sp := trace.Start(r.Context(), "dist.worker.run")
+	sp.SetInt("index", int64(req.Index))
+	if err := w.runPoint(ctx, p, key); err != nil {
+		sp.EndErr(err)
+		// A permanent point failure is the point's problem, not the
+		// node's: 422 tells the coordinator not to declare us dead.
+		http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.completed.Add(1)
+	metrics.Add("dist.worker.completed", 1)
+	sp.End()
+	writeJSON(rw, map[string]string{"key": key})
+}
+
+// runPoint enforces the exactly-once compute contract, then runs the
+// point through the engine: a "done" or tier-hit point is served without
+// computing, a granted claim computes and write-through publishes, and
+// a held claim waits for the holder (whose completion or revocation
+// resolves the wait).
+func (w *Worker) runPoint(ctx context.Context, p campaign.Point, key string) error {
+	poll := w.cfg.ClaimPoll
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	for {
+		st, err := w.cfg.Store.Claim(key, w.cfg.ID)
+		if err != nil {
+			return err
+		}
+		if st.State != "held" {
+			break
+		}
+		// Another live node is computing this key; waiting is cheaper
+		// than a duplicate run, and a dead holder's claim is revoked by
+		// the coordinator, which unblocks the next poll.
+		metrics.Add("dist.worker.claim_wait", 1)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+	_, err := w.engine.Run(ctx, []campaign.Point{p})
+	if err != nil {
+		// Give the claim back so a retry (here or elsewhere) is granted
+		// instead of waiting on us.
+		w.cfg.Store.ReleaseClaim(key, w.cfg.ID)
+		return err
+	}
+	return nil
+}
+
+// workerStats is the /v1/stats shape.
+type workerStats struct {
+	ID        string             `json:"id"`
+	Points    int                `json:"points"`
+	Runs      int64              `json:"runs"`
+	Completed int64              `json:"completed"`
+	Cache     campaign.CacheStats `json:"cache"`
+}
+
+func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, workerStats{
+		ID: w.cfg.ID, Points: len(w.cfg.Points),
+		Runs: w.runs.Load(), Completed: w.completed.Load(),
+		Cache: w.engine.Cache().Stats(),
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/flow"
@@ -45,6 +46,16 @@ type Server struct {
 	// (default: whatever tracer is armed process-wide at request time).
 	Trace *trace.Tracer
 
+	// FrontDoor, when non-nil, mounts the campaign submission service
+	// (/v1/campaigns...) on this server. Set it before Start.
+	FrontDoor *FrontDoor
+
+	// mu guards the serve/close lifecycle so Start, Close and in-flight
+	// handlers can race freely: Close is idempotent, Start after Close
+	// fails instead of leaking a listener, and a handler that runs
+	// during Close still sees the non-nil Store and Reg it started with.
+	mu       sync.Mutex
+	closed   bool
 	httpSrv  *http.Server
 	listener net.Listener
 }
@@ -67,6 +78,22 @@ func NewServer(store *Store) *Server {
 // Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
 // and returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("metrics: server is closed")
+	}
+	if s.httpSrv != nil {
+		return "", fmt.Errorf("metrics: server already started")
+	}
+	// Guard the zero-value Server: handlers must never see a nil store
+	// or registry, no matter how the struct was built.
+	if s.Store == nil {
+		s.Store = NewStore()
+	}
+	if s.Reg == nil {
+		s.Reg = NewCounters()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -84,15 +111,33 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if s.FrontDoor != nil {
+		s.FrontDoor.mount(mux)
+	}
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down: the front door first (its streams and
+// dispatcher hold handler goroutines open), then the HTTP server.
+// Idempotent, and safe to race with Start and with in-flight requests —
+// a Close that wins the race leaves Start returning an error rather
+// than a leaked listener.
 func (s *Server) Close() error {
-	if s.httpSrv != nil {
-		return s.httpSrv.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	srv, fd := s.httpSrv, s.FrontDoor
+	s.mu.Unlock()
+	if fd != nil {
+		fd.Close()
+	}
+	if srv != nil {
+		return srv.Close()
 	}
 	return nil
 }

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLedgerGrantReleaseRevoke(t *testing.T) {
+	l := NewLedger(3)
+	if !l.TryGrant("a") || !l.TryGrant("a") || !l.TryGrant("b") {
+		t.Fatal("grants under capacity must succeed")
+	}
+	if l.TryGrant("c") {
+		t.Fatal("grant over capacity must fail")
+	}
+	if got := l.InUse("a"); got != 2 {
+		t.Fatalf("InUse(a) = %d, want 2", got)
+	}
+	l.Release("a")
+	if !l.TryGrant("c") {
+		t.Fatal("released slot must be grantable")
+	}
+	if n := l.Revoke("a"); n != 1 {
+		t.Fatalf("Revoke(a) = %d, want 1", n)
+	}
+	if n := l.Revoke("a"); n != 0 {
+		t.Fatalf("second Revoke(a) = %d, want 0", n)
+	}
+	st := l.Stats()
+	if st.Used != 2 || st.Granted != 4 || st.Released != 1 || st.Revoked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLedgerReleaseWithoutGrantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without grant must panic")
+		}
+	}()
+	NewLedger(1).Release("ghost")
+}
+
+func TestLedgerAcquireBlocksUntilRelease(t *testing.T) {
+	l := NewLedger(1)
+	if !l.TryGrant("a") {
+		t.Fatal("first grant must succeed")
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(context.Background(), "b") }()
+	select {
+	case <-done:
+		t.Fatal("Acquire must block while the pool is full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release("a")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Acquire after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake on release")
+	}
+}
+
+func TestLedgerAcquireCancel(t *testing.T) {
+	l := NewLedger(1)
+	l.TryGrant("a")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx, "b") }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Acquire did not return")
+	}
+	if got := l.InUse("b"); got != 0 {
+		t.Fatalf("cancelled acquirer holds %d slots", got)
+	}
+}
+
+func TestLedgerPickFairDeterministic(t *testing.T) {
+	l := NewLedger(10)
+	cands := []string{"t2", "t1", "t3"}
+	// All even: lexicographically first wins.
+	if o, _ := l.PickFair(cands); o != "t1" {
+		t.Fatalf("even pick = %s, want t1", o)
+	}
+	l.TryGrant("t1")
+	l.TryGrant("t1")
+	l.TryGrant("t2")
+	// t3 holds nothing.
+	if o, _ := l.PickFair(cands); o != "t3" {
+		t.Fatalf("pick = %s, want t3", o)
+	}
+	// Weighted: t1 at weight 4 has usage 0.5, below t2's 1 and t3's +1.
+	l.SetWeight("t1", 4)
+	l.TryGrant("t3")
+	if o, _ := l.PickFair(cands); o != "t1" {
+		t.Fatalf("weighted pick = %s, want t1", o)
+	}
+	if _, ok := l.PickFair(nil); ok {
+		t.Fatal("PickFair(nil) must report !ok")
+	}
+}
+
+func TestLedgerConcurrentAccounting(t *testing.T) {
+	l := NewLedger(4)
+	owners := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := owners[i%len(owners)]
+			for j := 0; j < 50; j++ {
+				if err := l.Acquire(context.Background(), o); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				l.Release(o)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Used != 0 || len(st.Owners) != 0 {
+		t.Fatalf("leaked slots: %+v", st)
+	}
+	if st.Granted != 600 || st.Released != 600 {
+		t.Fatalf("granted/released = %d/%d, want 600/600", st.Granted, st.Released)
+	}
+}

@@ -35,6 +35,18 @@
 #                             must be non-empty, well-formed, and cover
 #                             campaign points, flow stages, and route
 #                             iterations (this is `make trace-demo`)
+#   scripts/check.sh dist     distributed campaign tier: doubled -race
+#                             over the dist/metrics/sched packages,
+#                             sharded loopback sweeps at 1/2/4 worker
+#                             nodes diffed byte-for-byte against the
+#                             single-process reference, a kill -9 of a
+#                             campd worker process mid-campaign (the
+#                             coordinator must reshard and still emit
+#                             the reference bytes), killed deployments
+#                             rerun against the store WAL, and the
+#                             1-node vs 4-node pulpino throughput pair
+#                             written to BENCH_dist.json (gated at
+#                             >= 1.8x at an identical qor_hash)
 #
 # BENCH_*.json files are written atomically (temp + rename), so a gate
 # failure or a kill mid-write never leaves a torn or half-updated file.
@@ -76,11 +88,13 @@ go build ./...
 # those goroutines at once, the place/route kernels run speculative
 # batches and sharded regions on the gang, and the flow/spec pair runs
 # whole speculative stage chains concurrently with the real stages; run
-# their race tests twice (fresh caches each time) before the full suite.
+# their race tests twice (fresh caches each time) before the full
+# suite; the dist service rides along because its store, claims, and
+# coordinator queues are hammered by every worker node at once.
 go test -race -count=2 ./internal/sched/... ./internal/campaign/... \
     ./internal/trace/... ./internal/metrics/... \
     ./internal/place/... ./internal/route/... \
-    ./internal/flow/... ./internal/spec/...
+    ./internal/flow/... ./internal/spec/... ./internal/dist/...
 go test -race ./...
 
 if [ "${1:-}" = "bench" ]; then
@@ -535,4 +549,152 @@ if [ "${1:-}" = "spec" ]; then
             }
         }'
     echo "spec_gate=ok"
+fi
+
+if [ "${1:-}" = "dist" ]; then
+    # Distributed campaign tier.
+    #
+    # 1. Doubled race tests over the service: the store's claims and
+    #    WAL, the ring, coordinator dispatch/steal/reassign, the worker
+    #    engine, the slot ledger, and the front door campaigns are
+    #    submitted through.
+    go test -race -count=2 ./internal/dist/... ./internal/metrics/... \
+        ./internal/sched/...
+
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    go build -o "$work/sprflow" ./cmd/sprflow
+    go build -o "$work/campd" ./cmd/campd
+
+    # 2. Byte-identity across node counts: the sharded service's stdout
+    #    must equal the single-process sweep's at 1, 2, and 4 loopback
+    #    worker nodes.
+    sweep_flags="-design tiny -sweep 4 -parallel 2"
+    "$work/sprflow" $sweep_flags > "$work/ref.out"
+    for nodes in 1 2 4; do
+        "$work/sprflow" $sweep_flags -dist-nodes "$nodes" > "$work/dist.out"
+        if ! diff -u "$work/ref.out" "$work/dist.out"; then
+            echo "check.sh: dist sweep at $nodes nodes differs from single-process reference" >&2
+            exit 1
+        fi
+    done
+
+    # 3. kill -9 a worker *process* mid-campaign, in a real multi-process
+    #    campd deployment (store + two workers + coordinator over
+    #    loopback HTTP). The coordinator must revoke the dead node's
+    #    store claims, reshard its points onto the survivor, and still
+    #    emit the single-process reference bytes.
+    shape="-design pulpino -freq 0.5 -seed 1 -effort 2 -sweep 4"
+    "$work/sprflow" $shape -parallel 1 > "$work/pref.out"
+
+    # campd binds port 0 and prints the bound address; poll it out of
+    # the process's stdout file.
+    wait_addr() {
+        i=0
+        while [ "$i" -lt 100 ]; do
+            a=$(sed -n "s/^campd $1 listening on \([^ ]*\).*/\1/p" "$2")
+            if [ -n "$a" ]; then printf '%s' "$a"; return 0; fi
+            i=$((i+1)); sleep 0.05
+        done
+        echo "check.sh: $1 never reported its address" >&2
+        return 1
+    }
+
+    "$work/campd" -mode store -addr 127.0.0.1:0 \
+        > "$work/store.out" 2> /dev/null &
+    store_pid=$!
+    saddr=$(wait_addr store "$work/store.out")
+    for wid in w0 w1; do
+        "$work/campd" -mode worker -id "$wid" -addr 127.0.0.1:0 \
+            -store-url "http://$saddr" $shape -parallel 1 \
+            > "$work/$wid.out" 2> /dev/null &
+        eval "${wid}_pid=\$!"
+    done
+    w0addr=$(wait_addr "worker w0" "$work/w0.out")
+    w1addr=$(wait_addr "worker w1" "$work/w1.out")
+    "$work/campd" -mode coord -store-url "http://$saddr" \
+        -nodes "w0=http://$w0addr,w1=http://$w1addr" $shape -parallel 1 \
+        > "$work/coord.out" 2> "$work/coord.err" &
+    coord_pid=$!
+    sleep 0.4
+    kill -9 "$w0_pid" 2>/dev/null || true
+    wait "$coord_pid"
+    kill "$w1_pid" "$store_pid" 2>/dev/null || true
+    wait "$w1_pid" "$store_pid" 2>/dev/null || true
+    if ! diff -u "$work/pref.out" "$work/coord.out"; then
+        echo "check.sh: campaign with a worker killed -9 differs from reference" >&2
+        exit 1
+    fi
+    cat "$work/coord.err"
+    if ! grep -q '[1-9][0-9]* node deaths' "$work/coord.err"; then
+        echo "check.sh: worker kill -9 landed outside the campaign window (machine too fast/slow?)" >&2
+    fi
+
+    # 4. kill -9 the whole sharded deployment mid-campaign, then rerun
+    #    it against the same store WAL: recovered points are served from
+    #    the store, only the lost ones recompute, and stdout must still
+    #    be byte-identical to the uninterrupted reference.
+    recovered=""
+    for delay in 0.25 0.4 0.6; do
+        jdir="$work/dwal$delay"
+        "$work/sprflow" $shape -parallel 1 -dist-nodes 2 -journal "$jdir" \
+            > /dev/null 2>&1 &
+        pid=$!
+        sleep "$delay"
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+        "$work/sprflow" $shape -parallel 1 -dist-nodes 2 -journal "$jdir" \
+            > "$work/rerun.out" 2> "$work/rerun.err"
+        if ! diff -u "$work/pref.out" "$work/rerun.out"; then
+            echo "check.sh: rerun against the store WAL (killed at ${delay}s) differs from reference" >&2
+            exit 1
+        fi
+        if grep -q 'replayed=[1-9]' "$work/rerun.err"; then
+            recovered=1
+        fi
+    done
+    if [ -z "$recovered" ]; then
+        echo "check.sh: no kill left a recoverable store WAL (machine too fast/slow?)" >&2
+    fi
+
+    # 5. Throughput gate: the pulpino-proxy sweep through the full
+    #    service at one loopback worker node vs four, min-of-3, at an
+    #    identical qor_hash. Four nodes must clear 1.8x.
+    out=$(go test -run=NONE -bench='BenchmarkDistSweep(1|4)$' \
+        -benchtime=1x -count=3 .)
+    echo "$out"
+    echo "$out" | awk '
+        function metric(name,   i) {
+            for (i = 1; i <= NF; i++) if ($i == name) return $(i-1)
+            return ""
+        }
+        /BenchmarkDistSweep1/ {
+            if (n1 == "" || $3 + 0 < n1) n1 = $3 + 0
+            q1 = metric("qor_hash")
+        }
+        /BenchmarkDistSweep4/ {
+            if (n4 == "" || $3 + 0 < n4) n4 = $3 + 0
+            q4 = metric("qor_hash")
+        }
+        END {
+            if (n1 == "" || n4 == "" || n4 == 0) {
+                print "check.sh: could not parse dist benchmark output" > "/dev/stderr"
+                exit 1
+            }
+            speedup = n1 / n4
+            printf "dist_speedup_x=%.2f\n", speedup
+            printf "{\"benchmark\":\"dist\",\"one_node_ns_per_op\":%.0f,\"four_node_ns_per_op\":%.0f,\"speedup_x\":%.2f,\"qor_hash\":%s}\n", \
+                n1, n4, speedup, q4 > "BENCH_dist.json.tmp"
+            if (q1 != q4) {
+                printf "check.sh: 1-node/4-node QoR mismatch: qor_hash %s vs %s\n", \
+                    q1, q4 > "/dev/stderr"
+                exit 1
+            }
+            if (speedup < 1.8) {
+                printf "check.sh: dist speedup %.2fx below 1.8x gate\n", speedup > "/dev/stderr"
+                exit 1
+            }
+        }'
+    mv BENCH_dist.json.tmp BENCH_dist.json
+    echo "dist_gate=ok"
 fi
