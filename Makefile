@@ -13,7 +13,10 @@ spec:
 dist:
 	scripts/check.sh dist
 
+chaos:
+	scripts/check.sh chaos
+
 trace-demo:
 	scripts/check.sh trace
 
-.PHONY: check bench crash spec dist trace-demo
+.PHONY: check bench crash spec dist chaos trace-demo

@@ -29,12 +29,18 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/campaign"
 	"repro/internal/dist"
 	"repro/internal/journal"
 )
+
+// drainTimeout bounds a graceful shutdown: past it, in-flight work is
+// abandoned and the process exits anyway (an operator's kill must win).
+const drainTimeout = 30 * time.Second
 
 func main() {
 	os.Exit(run())
@@ -137,8 +143,14 @@ func runStore(addr, journalDir string) int {
 			st.Recovered, st.Corrupt, journalDir)
 	}
 	fmt.Printf("campd store listening on %s\n", bound)
-	waitInterrupt()
-	srv.Close()
+	waitSignal()
+	// Graceful: finish in-flight puts (so every acknowledged entry is in
+	// the WAL), then close the journal cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "store: shutdown: %v\n", err)
+	}
 	st := store.Stats()
 	fmt.Fprintf(os.Stderr, "store: %d entries, %d claims outstanding\n", st.Entries, st.Claims)
 	return 0
@@ -162,8 +174,15 @@ func runWorker(id, addr string, pts []campaign.Point, client *dist.StoreClient, 
 		return 1
 	}
 	fmt.Printf("campd worker %s listening on %s (%d points known)\n", id, bound, len(pts))
-	waitInterrupt()
-	w.Close()
+	waitSignal()
+	// Graceful: refuse new runs, finish in-flight points, backfill the
+	// store backlog, release pooled connections — nothing computed here
+	// is lost and the coordinator sees clean 503s while we drain.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := w.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "worker %s: drain: %v\n", id, err)
+	}
 	fmt.Fprintf(os.Stderr, "worker %s: %d points completed\n", id, w.Completed())
 	return 0
 }
@@ -193,7 +212,11 @@ func runCoord(nodeList string, pts []campaign.Point, scfg repro.SweepConfig, cli
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	results, err := coord.Run(context.Background())
+	// A signal cancels the campaign context: runners stop dispatching,
+	// probers exit, and Run returns the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, err := coord.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
 		return 1
@@ -217,8 +240,13 @@ func runCoord(nodeList string, pts []campaign.Point, scfg repro.SweepConfig, cli
 	return 0
 }
 
-func waitInterrupt() {
+// waitSignal blocks until SIGINT or SIGTERM. The seed only caught
+// os.Interrupt, so a SIGTERM (the kill(1) and orchestrator default)
+// skipped every drain path and died with claims held and journal
+// buffers unflushed.
+func waitSignal() {
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	signal.Stop(sig)
 }

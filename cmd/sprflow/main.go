@@ -8,6 +8,7 @@
 //	sprflow -design tiny -sweep 4 [-parallel N] [-journal DIR] [-resume]
 //	sprflow -design tiny -sweep 4 -speculate [-spec-tol 1]
 //	sprflow -design tiny -sweep 4 -dist-nodes 4 [-journal DIR]
+//	sprflow -design tiny -sweep 4 -dist-nodes 4 -chaos-profile partition -chaos-seed 7
 //	sprflow -design tiny -sweep 4 -trace trace.json -metrics-addr :8080
 //
 // A -sweep runs the full frequency x seed cross on the campaign engine
@@ -23,6 +24,13 @@
 // any node count; -journal DIR becomes the shared store's WAL, so a
 // killed deployment rerun with the same flags recomputes only the
 // points that never reached the store.
+//
+// With -chaos-profile NAME a deterministic network fault schedule
+// (internal/chaos) is injected into every link of the -dist-nodes
+// deployment — drops, 503s, stalls, duplicated deliveries, scheduled
+// partitions — keyed on -chaos-seed. stdout remains byte-identical to
+// the single-process sweep under any schedule that leaves at least one
+// worker reachable; failure-handling counters go to stderr.
 //
 // With -speculate the sweep overlaps downstream stages on predicted
 // upstream artifacts drawn from a sweep-local artifact memory; commit
@@ -46,6 +54,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dist"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -66,6 +75,8 @@ func run() int {
 	resume := flag.Bool("resume", false, "resume a killed -sweep from its -journal (same flags required)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage hung-tool watchdog deadline (0 = off)")
 	distNodes := flag.Int("dist-nodes", 0, "run -sweep through the distributed campaign service with this many loopback worker nodes (0 = single-process; stdout identical either way)")
+	chaosProfile := flag.String("chaos-profile", "", "inject a deterministic network fault schedule into -dist-nodes: flaky, slow, partition, kill (stdout stays byte-identical)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seed for the -chaos-profile coin schedule")
 	speculate := flag.Bool("speculate", false, "overlap downstream flow stages on predicted upstream artifacts during -sweep (committed results identical to a non-speculative sweep)")
 	specTol := flag.Float64("spec-tol", 0, "speculative commit tolerance on predicted stage scalars, percent (0 = default 1)")
 	placeWorkers := flag.Int("place-workers", 0, "speculative parallel annealer workers (0 = serial placer; results identical at any count >= 1)")
@@ -110,6 +121,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-dist-nodes requires -sweep")
 		return 2
 	}
+	if *chaosProfile != "" && *distNodes <= 0 {
+		fmt.Fprintln(os.Stderr, "-chaos-profile requires -dist-nodes (chaos is injected into the network tier)")
+		return 2
+	}
 	kernels := repro.FlowOptions{
 		SynthEffort:  *effort,
 		PlaceWorkers: *placeWorkers,
@@ -125,6 +140,8 @@ func run() int {
 			speculate:    *speculate,
 			specTol:      *specTol,
 			distNodes:    *distNodes,
+			chaosProfile: *chaosProfile,
+			chaosSeed:    *chaosSeed,
 		})
 	}
 
@@ -178,6 +195,8 @@ type sweepConfig struct {
 	speculate    bool
 	specTol      float64
 	distNodes    int
+	chaosProfile string
+	chaosSeed    int64
 }
 
 // runSweep executes the crash-safe QOR sweep: nSeeds seeds at three
@@ -206,7 +225,22 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOpti
 	var res repro.SweepResult
 	var err error
 	if cfg.distNodes > 0 {
-		res, err = repro.DistSweep(repro.DistSweepConfig{SweepConfig: scfg, Nodes: cfg.distNodes})
+		var dstats dist.CoordStats
+		res, err = repro.DistSweep(repro.DistSweepConfig{
+			SweepConfig:  scfg,
+			Nodes:        cfg.distNodes,
+			ChaosProfile: cfg.chaosProfile,
+			ChaosSeed:    cfg.chaosSeed,
+			Stats:        &dstats,
+		})
+		// Failure-handling accounting goes to stderr so stdout stays a
+		// byte-diffable result stream under any fault schedule.
+		fmt.Fprintf(os.Stderr, "dist: deaths=%d suspected=%d recovered=%d rejoined=%d reassigned=%d stolen=%d rerouted=%d\n",
+			dstats.Deaths, dstats.Suspected, dstats.Recovered, dstats.Rejoined,
+			dstats.Reassigned, dstats.Stolen, dstats.Rerouted)
+		if cfg.chaosProfile != "" {
+			metrics.Default.WritePrefix(os.Stderr, "chaos.")
+		}
 	} else {
 		res, err = repro.Sweep(scfg)
 	}

@@ -15,8 +15,11 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
 	"repro/internal/dist"
 	"repro/internal/flow"
 	"repro/internal/journal"
@@ -56,6 +59,16 @@ type DistSweepConfig struct {
 	SweepConfig
 	// Nodes is the worker node count (<=0 = 1).
 	Nodes int
+	// ChaosProfile, when non-empty, injects a deterministic fault
+	// schedule from internal/chaos into every link of the deployment:
+	// "flaky", "slow", "partition", or "kill". The contract under any
+	// schedule with at least one live node is byte-identical output.
+	ChaosProfile string
+	// ChaosSeed keys the chaos coin schedule (and the RPC retry jitter).
+	ChaosSeed int64
+	// Stats, when non-nil, receives the coordinator's failure-handling
+	// counters after the run (suspected, rejoined, rerouted, ...).
+	Stats *dist.CoordStats
 }
 
 // DistSweep runs the sweep through the full coordinator/worker/store
@@ -77,6 +90,33 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 		nodes = 1
 	}
 
+	// The chaos engine (nil without a profile) wraps every endpoint's
+	// transport; sources follow the deployment naming the schedules cut
+	// on ("w0".."wN", "coord"; the store is a target, never a source).
+	var eng *chaos.Engine
+	var health dist.HealthConfig
+	if cfg.ChaosProfile != "" {
+		ccfg, err := chaos.Profile(cfg.ChaosProfile, cfg.ChaosSeed)
+		if err != nil {
+			return out, err
+		}
+		eng = chaos.New(ccfg)
+		// Probe fast relative to the schedules' heal windows so a
+		// partitioned node dies and rejoins within one soak run.
+		health = dist.HealthConfig{
+			ProbeInterval:  20 * time.Millisecond,
+			ProbeTimeout:   300 * time.Millisecond,
+			RejoinInterval: 40 * time.Millisecond,
+		}
+	}
+	rpcFor := func(source string) dist.RPCConfig {
+		var rt http.RoundTripper
+		if eng != nil {
+			rt = eng.Transport(source, dist.NewTransport())
+		}
+		return dist.RPCConfig{Seed: cfg.ChaosSeed, Transport: rt}
+	}
+
 	store, err := dist.OpenStore(cfg.JournalDir, journal.Options{})
 	if err != nil {
 		return out, err
@@ -88,7 +128,8 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 		return out, err
 	}
 	defer srv.Close()
-	client := dist.NewStoreClient("http://" + addr)
+	client := dist.NewStoreClientCfg("http://"+addr, dist.ClientConfig{RPC: rpcFor("coord")})
+	defer client.Close()
 	if cfg.JournalDir != "" {
 		out.Recovery = store.WALStats()
 		st := store.Stats()
@@ -98,10 +139,18 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 	var coordNodes []dist.Node
 	for i := 0; i < nodes; i++ {
 		id := fmt.Sprintf("w%d", i)
+		// Each worker gets its own store client so its RPCs carry its
+		// own source name on the chaos graph (and its offline backlog is
+		// per node, as it would be across real hosts).
+		wclient := client
+		if eng != nil {
+			wclient = dist.NewStoreClientCfg("http://"+addr, dist.ClientConfig{RPC: rpcFor(id)})
+			defer wclient.Close()
+		}
 		w := dist.NewWorker(dist.WorkerConfig{
 			ID:           id,
 			Points:       pts,
-			Store:        client,
+			Store:        wclient,
 			Workers:      cfg.Workers,
 			StageTimeout: cfg.StageTimeout,
 		})
@@ -117,11 +166,15 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 
 	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Points: pts, Nodes: coordNodes, Store: client,
+		RPC: rpcFor("coord"), Health: health,
 	})
 	if err != nil {
 		return out, err
 	}
 	results, err := coord.Run(context.Background())
+	if cfg.Stats != nil {
+		*cfg.Stats = coord.Stats()
+	}
 	if err != nil {
 		return out, err
 	}

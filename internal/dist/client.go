@@ -1,12 +1,12 @@
 package dist
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
+	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/metrics"
@@ -17,19 +17,81 @@ import (
 // call: L1 miss → HTTP get; fresh compute → HTTP put (write-through).
 // Tier faults are counted and absorbed — a flaky store degrades a node
 // to recomputing, it never fails a campaign.
+//
+// Every RPC carries a deadline and a bounded retry budget (RPCConfig),
+// and propagates the caller's context — the seed's bare http.Client{}
+// could wedge a coordinator goroutine forever on one stalled TCP
+// connection. When the store is unreachable, Store falls back to an
+// in-memory backlog that is flushed on the next healthy RPC (or by
+// Backfill), so a partitioned worker keeps computing locally and
+// publishes its results when the link heals.
 type StoreClient struct {
-	base   string
-	client *http.Client
+	base string
+	rpc  *rpc
+
+	// baseCtx scopes the Tier methods (campaign.Tier has no ctx
+	// parameter); Background until SetBaseContext.
+	ctxMu   sync.RWMutex
+	baseCtx context.Context
+
+	backMu  sync.Mutex
+	backlog []campaign.Entry
+	backSet map[string]bool
 }
 
+// ClientConfig parameterizes a store client.
+type ClientConfig struct {
+	// RPC tunes deadlines, retries, and the chaos transport.
+	RPC RPCConfig
+	// Source is the logical endpoint name the chaos engine sees as the
+	// origin of this client's RPCs (defaults to "client").
+	Source string
+}
+
+// backlogCap bounds the offline backlog; beyond it the oldest entries
+// are dropped (they cost one recompute, never correctness).
+const backlogCap = 1024
+
 // NewStoreClient creates a client for a store base URL
-// (e.g. "http://127.0.0.1:7600").
+// (e.g. "http://127.0.0.1:7600") with default hardening.
 func NewStoreClient(baseURL string) *StoreClient {
-	return &StoreClient{base: baseURL, client: &http.Client{}}
+	return NewStoreClientCfg(baseURL, ClientConfig{})
+}
+
+// NewStoreClientCfg creates a client with explicit RPC hardening.
+func NewStoreClientCfg(baseURL string, cfg ClientConfig) *StoreClient {
+	return &StoreClient{
+		base:    baseURL,
+		rpc:     newRPC(cfg.RPC, "store"),
+		baseCtx: context.Background(),
+		backSet: map[string]bool{},
+	}
 }
 
 // BaseURL returns the store base URL.
 func (c *StoreClient) BaseURL() string { return c.base }
+
+// SetBaseContext scopes the context-free Tier methods (Load/Store) to
+// ctx — typically the owning worker's lifecycle — so a shutdown
+// releases any RPC the cache has in flight.
+func (c *StoreClient) SetBaseContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctxMu.Lock()
+	c.baseCtx = ctx
+	c.ctxMu.Unlock()
+}
+
+func (c *StoreClient) tierCtx() context.Context {
+	c.ctxMu.RLock()
+	defer c.ctxMu.RUnlock()
+	return c.baseCtx
+}
+
+// Close releases pooled connections. The client stays usable; Close is
+// a leak-hygiene call for shutdown paths.
+func (c *StoreClient) Close() { c.rpc.closeIdle() }
 
 func (c *StoreClient) entryURL(key string) string {
 	return c.base + "/v1/entry?key=" + url.QueryEscape(key)
@@ -37,103 +99,208 @@ func (c *StoreClient) entryURL(key string) string {
 
 // Load implements campaign.Tier: fetch and decode the entry for key.
 func (c *StoreClient) Load(key string) (campaign.Entry, bool) {
-	resp, err := c.client.Get(c.entryURL(key))
+	return c.LoadCtx(c.tierCtx(), key)
+}
+
+// LoadCtx is Load with the caller's context.
+func (c *StoreClient) LoadCtx(ctx context.Context, key string) (campaign.Entry, bool) {
+	res, err := c.rpc.do(ctx, "entry.get", http.MethodGet, c.entryURL(key), nil, maxEntryBytes, false)
 	if err != nil {
 		metrics.Add("dist.client.get_err", 1)
 		return campaign.Entry{}, false
 	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
+	if res.status != http.StatusOK {
 		return campaign.Entry{}, false
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	e, err := campaign.DecodeEntry(res.body)
 	if err != nil {
-		metrics.Add("dist.client.get_err", 1)
-		return campaign.Entry{}, false
-	}
-	e, err := campaign.DecodeEntry(data)
-	if err != nil {
+		// A truncated or torn gob body decodes to an error, never a
+		// partial entry served as truth.
 		metrics.Add("dist.client.decode_err", 1)
 		return campaign.Entry{}, false
 	}
+	c.flushSome(ctx) // the store answered: opportunistically backfill
 	return e, true
 }
 
 // Store implements campaign.Tier: encode and upload a computed entry.
-// Best-effort by contract — failures are counted, never propagated.
+// Best-effort by contract — failures are counted and the entry parked
+// in the backlog for backfill, never propagated.
 func (c *StoreClient) Store(e campaign.Entry) {
+	c.StoreCtx(c.tierCtx(), e)
+}
+
+// StoreCtx is Store with the caller's context.
+func (c *StoreClient) StoreCtx(ctx context.Context, e campaign.Entry) {
+	if err := c.put(ctx, e); err != nil {
+		metrics.Add("dist.client.put_err", 1)
+		c.park(e)
+		return
+	}
+	c.flushSome(ctx)
+}
+
+// put uploads one entry (no backlog interaction).
+func (c *StoreClient) put(ctx context.Context, e campaign.Entry) error {
 	data, err := campaign.EncodeEntry(e)
 	if err != nil {
 		metrics.Add("dist.client.encode_err", 1)
-		return
+		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, c.entryURL(e.Key), bytes.NewReader(data))
+	res, err := c.rpc.do(ctx, "entry.put", http.MethodPut, c.entryURL(e.Key), data, 1<<16, false)
 	if err != nil {
-		metrics.Add("dist.client.put_err", 1)
+		return err
+	}
+	if res.status != http.StatusOK {
+		return fmt.Errorf("dist: put returned %d", res.status)
+	}
+	return nil
+}
+
+// park queues an entry for backfill once the store answers again.
+func (c *StoreClient) park(e campaign.Entry) {
+	c.backMu.Lock()
+	defer c.backMu.Unlock()
+	if c.backSet[e.Key] {
 		return
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := c.client.Do(req)
-	if err != nil {
-		metrics.Add("dist.client.put_err", 1)
+	if len(c.backlog) >= backlogCap {
+		drop := c.backlog[0]
+		c.backlog = c.backlog[1:]
+		delete(c.backSet, drop.Key)
+		metrics.Add("dist.client.backlog_dropped", 1)
+	}
+	c.backlog = append(c.backlog, e)
+	c.backSet[e.Key] = true
+	metrics.Add("dist.client.backlogged", 1)
+}
+
+// Parked reports whether key's entry is waiting in the backlog — i.e.
+// computed here but not yet visible in the store.
+func (c *StoreClient) Parked(key string) bool {
+	c.backMu.Lock()
+	defer c.backMu.Unlock()
+	return c.backSet[key]
+}
+
+// PendingBacklog reports how many computed entries await backfill.
+func (c *StoreClient) PendingBacklog() int {
+	c.backMu.Lock()
+	defer c.backMu.Unlock()
+	return len(c.backlog)
+}
+
+// Backfill pushes the whole backlog to the store, stopping at the first
+// failure (the store is presumably still unreachable). Returns how many
+// entries were published and how many remain parked.
+func (c *StoreClient) Backfill(ctx context.Context) (flushed, pending int) {
+	for {
+		c.backMu.Lock()
+		if len(c.backlog) == 0 {
+			c.backMu.Unlock()
+			return flushed, 0
+		}
+		e := c.backlog[0]
+		c.backMu.Unlock()
+
+		if err := c.put(ctx, e); err != nil {
+			return flushed, c.PendingBacklog()
+		}
+		c.backMu.Lock()
+		// Pop e if still at the head (a concurrent Backfill may have
+		// raced us to it; either way it is published).
+		if len(c.backlog) > 0 && c.backlog[0].Key == e.Key {
+			c.backlog = c.backlog[1:]
+			delete(c.backSet, e.Key)
+		}
+		c.backMu.Unlock()
+		flushed++
+		metrics.Add("dist.client.backfilled", 1)
+	}
+}
+
+// flushSome opportunistically backfills a couple of parked entries
+// after any healthy RPC — the reconnect signal that costs no extra
+// probing. Bounded so a tier call never turns into a long flush.
+func (c *StoreClient) flushSome(ctx context.Context) {
+	if c.PendingBacklog() == 0 {
 		return
 	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		metrics.Add("dist.client.put_err", 1)
+	for i := 0; i < 2; i++ {
+		c.backMu.Lock()
+		if len(c.backlog) == 0 {
+			c.backMu.Unlock()
+			return
+		}
+		e := c.backlog[0]
+		c.backMu.Unlock()
+		if err := c.put(ctx, e); err != nil {
+			return
+		}
+		c.backMu.Lock()
+		if len(c.backlog) > 0 && c.backlog[0].Key == e.Key {
+			c.backlog = c.backlog[1:]
+			delete(c.backSet, e.Key)
+		}
+		c.backMu.Unlock()
+		metrics.Add("dist.client.backfilled", 1)
 	}
 }
 
 // Claim asks the store for the right to compute key on node's behalf.
-func (c *StoreClient) Claim(key, node string) (ClaimState, error) {
+func (c *StoreClient) Claim(ctx context.Context, key, node string) (ClaimState, error) {
 	u := fmt.Sprintf("%s/v1/claim?key=%s&node=%s", c.base, url.QueryEscape(key), url.QueryEscape(node))
-	resp, err := c.client.Post(u, "", nil)
+	res, err := c.rpc.do(ctx, "claim", http.MethodPost, u, nil, 1<<16, false)
 	if err != nil {
 		return ClaimState{}, err
 	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return ClaimState{}, fmt.Errorf("dist: claim returned %s", resp.Status)
+	if res.status != http.StatusOK {
+		return ClaimState{}, fmt.Errorf("dist: claim returned %d", res.status)
 	}
 	var st ClaimState
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := json.Unmarshal(res.body, &st); err != nil {
 		return ClaimState{}, err
 	}
 	return st, nil
 }
 
 // ReleaseClaim abandons node's claim on key (best-effort).
-func (c *StoreClient) ReleaseClaim(key, node string) {
+func (c *StoreClient) ReleaseClaim(ctx context.Context, key, node string) {
 	u := fmt.Sprintf("%s/v1/release?key=%s&node=%s", c.base, url.QueryEscape(key), url.QueryEscape(node))
-	if resp, err := c.client.Post(u, "", nil); err == nil {
-		drain(resp)
-	}
+	c.rpc.do(ctx, "release", http.MethodPost, u, nil, 1<<16, false) //nolint:errcheck
 }
 
 // ReleaseNode revokes every claim node holds — the coordinator's
 // dead-node call. Unlike the tier methods this one propagates errors:
 // reassigning points while a ghost still holds claims would stall the
 // replacement workers in their wait loops.
-func (c *StoreClient) ReleaseNode(node string) (int, error) {
+func (c *StoreClient) ReleaseNode(ctx context.Context, node string) (int, error) {
 	u := c.base + "/v1/release-node?node=" + url.QueryEscape(node)
-	resp, err := c.client.Post(u, "", nil)
+	res, err := c.rpc.do(ctx, "release-node", http.MethodPost, u, nil, 1<<16, false)
 	if err != nil {
 		return 0, err
 	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("dist: release-node returned %s", resp.Status)
+	if res.status != http.StatusOK {
+		return 0, fmt.Errorf("dist: release-node returned %d", res.status)
 	}
 	var out map[string]int
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.Unmarshal(res.body, &out); err != nil {
 		return 0, err
 	}
 	return out["released"], nil
 }
 
-// drain consumes and closes a response body so the client's keep-alive
-// pool can reuse the connection.
-func drain(resp *http.Response) {
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	resp.Body.Close()
+// Healthz probes the store once, with the per-attempt deadline and no
+// retries (probes are themselves the retry loop).
+func (c *StoreClient) Healthz(ctx context.Context) error {
+	r := &rpc{cfg: c.rpc.cfg, client: c.rpc.client, target: "store"}
+	r.cfg.Retries = -1
+	res, err := r.do(ctx, "healthz", http.MethodGet, c.base+"/healthz", nil, 1<<10, false)
+	if err != nil {
+		return err
+	}
+	if res.status != http.StatusOK {
+		return fmt.Errorf("dist: store healthz returned %d", res.status)
+	}
+	return nil
 }

@@ -332,8 +332,8 @@ func TestStealPolicy(t *testing.T) {
 	if idx, ok := c.stealLocked("a"); !ok || idx != 5 {
 		t.Fatalf("steal 3: got (%d,%t), want (5,true) from c", idx, ok)
 	}
-	// A dead node's queue is markDead's to drain, never a victim's.
-	c.live["c"] = false
+	// A dead node's queue is declareDead's to drain, never a victim's.
+	c.state["c"] = NodeDead
 	c.queues["c"] = []int{4, 5, 6, 7}
 	if idx, ok := c.stealLocked("a"); !ok || idx != 1 {
 		t.Fatalf("steal 4: got (%d,%t), want (1,true) from live b, not dead c", idx, ok)

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -51,6 +52,23 @@ func (n *httpNode) close() error {
 		return n.srv.Close()
 	}
 	return nil
+}
+
+// shutdown stops the node gracefully: the listener closes, in-flight
+// requests finish (bounded by ctx). Idempotent with close.
+func (n *httpNode) shutdown(ctx context.Context) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	srv := n.srv
+	n.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 // addr returns the bound address ("" before start).

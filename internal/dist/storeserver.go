@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -52,6 +53,11 @@ func (s *StoreServer) Addr() string { return s.node.addr() }
 // Close stops serving (idempotent; the store itself stays usable and is
 // closed separately so its WAL outlives the listener).
 func (s *StoreServer) Close() error { return s.node.close() }
+
+// Shutdown stops the server gracefully: in-flight requests (a put being
+// journaled, a claim poll) finish before the listener closes, bounded
+// by ctx. Idempotent with Close.
+func (s *StoreServer) Shutdown(ctx context.Context) error { return s.node.shutdown(ctx) }
 
 func handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n") //nolint:errcheck

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,13 +18,25 @@ import (
 // points through an unchanged campaign.Engine whose cache is tiered onto
 // the shared result store, and answers the coordinator's run requests.
 //
-//	POST /v1/run   {"index":i} -> {"key":K} | 422 point failed | 5xx
+//	POST /v1/run   {"index":i} -> {"key":K} | 422 point failed
+//	               | 503 node-transient (store unreachable, draining)
 //	GET  /v1/stats worker + cache counters
 //	GET  /healthz  "ok"
+//
+// When the store is unreachable the worker degrades instead of dying:
+// it computes without a claim (determinism makes duplicate computes
+// harmless), parks write-throughs in the client backlog, and backfills
+// when the link heals. A point whose result cannot reach the store
+// answers 503 — the coordinator retries or re-routes; it never records
+// a permanent failure for a transient outage.
 type Worker struct {
 	cfg    WorkerConfig
 	engine *campaign.Engine
 	node   httpNode
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
 
 	runs      atomic.Int64
 	completed atomic.Int64
@@ -55,6 +68,11 @@ type WorkerConfig struct {
 	KillOnRun int
 	// ClaimPoll is the wait between polls of a held claim (0 = 5ms).
 	ClaimPoll time.Duration
+	// ClaimWait caps how long a held claim is waited on before the
+	// worker computes anyway (0 = 30s). The cap exists for the holder
+	// nobody revokes — a duplicate compute costs cycles, a forever-wait
+	// costs the campaign.
+	ClaimWait time.Duration
 }
 
 // NewWorker builds a worker whose engine caches through the store.
@@ -87,6 +105,39 @@ func (w *Worker) Addr() string { return w.node.addr() }
 // semantics the reassignment path is built for). Idempotent.
 func (w *Worker) Close() error { return w.node.close() }
 
+// Shutdown drains the node gracefully: new run requests answer 503,
+// in-flight points finish (bounded by ctx; past the bound the node is
+// closed abortively), the client backlog is backfilled so nothing
+// computed here is lost, and the listener closes cleanly.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.drainMu.Lock()
+	already := w.draining
+	w.draining = true
+	w.drainMu.Unlock()
+	if !already {
+		metrics.Add("dist.worker.drained", 1)
+	}
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		w.node.close() //nolint:errcheck
+		return ctx.Err()
+	}
+	if w.cfg.Store != nil {
+		w.cfg.Store.Backfill(ctx)
+	}
+	err := w.node.shutdown(ctx)
+	if w.cfg.Store != nil {
+		w.cfg.Store.Close()
+	}
+	return err
+}
+
 // Completed reports how many run requests this node finished.
 func (w *Worker) Completed() int64 { return w.completed.Load() }
 
@@ -100,6 +151,16 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	w.drainMu.Lock()
+	if w.draining {
+		w.drainMu.Unlock()
+		http.Error(rw, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.inflight.Add(1)
+	w.drainMu.Unlock()
+	defer w.inflight.Done()
+
 	n := w.runs.Add(1)
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -121,14 +182,21 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		// without computing or releasing — the ghost-claim state the
 		// coordinator must revoke before reassigning, or the point's
 		// next owner waits on a dead holder forever.
-		w.cfg.Store.Claim(key, w.cfg.ID) //nolint:errcheck
-		w.Close()                        //nolint:errcheck
+		w.cfg.Store.Claim(r.Context(), key, w.cfg.ID) //nolint:errcheck
+		w.Close()                                     //nolint:errcheck
 		return
 	}
 	ctx, sp := trace.Start(r.Context(), "dist.worker.run")
 	sp.SetInt("index", int64(req.Index))
 	if err := w.runPoint(ctx, p, key); err != nil {
 		sp.EndErr(err)
+		if err == errUnavailable || ctx.Err() != nil {
+			// Node-transient, not a point failure: the result exists (or
+			// will) but cannot reach the store from here right now. Tell
+			// the coordinator to retry or re-route.
+			http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		// A permanent point failure is the point's problem, not the
 		// node's: 422 tells the coordinator not to declare us dead.
 		http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
@@ -144,46 +212,86 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 // point through the engine: a "done" or tier-hit point is served without
 // computing, a granted claim computes and write-through publishes, and
 // a held claim waits for the holder (whose completion or revocation
-// resolves the wait).
+// resolves the wait, with ClaimWait as the backstop). A 200 answer
+// guarantees the result is in the store — the coordinator assembles
+// from there, so an entry parked in the backlog reports 503 instead.
 func (w *Worker) runPoint(ctx context.Context, p campaign.Point, key string) error {
+	claimed, err := w.acquireClaim(ctx, key)
+	if err != nil {
+		return err
+	}
+	if _, err := w.engine.Run(ctx, []campaign.Point{p}); err != nil {
+		if claimed {
+			// Give the claim back so a retry (here or elsewhere) is
+			// granted instead of waiting on us.
+			w.cfg.Store.ReleaseClaim(ctx, key, w.cfg.ID)
+		}
+		return err
+	}
+	if w.cfg.Store.Parked(key) {
+		// Computed, but the write-through could not reach the store.
+		// Try once more now; if the link is still down the coordinator
+		// hears 503 and the backlog keeps the entry for the heal.
+		w.cfg.Store.Backfill(ctx)
+		if w.cfg.Store.Parked(key) {
+			metrics.Add("dist.worker.publish_blocked", 1)
+			return errUnavailable
+		}
+	}
+	return nil
+}
+
+// acquireClaim polls the store for the compute claim on key. claimed is
+// false when the worker should compute without one: the store is
+// unreachable (degraded mode — duplicates are harmless by determinism)
+// or a held claim outlived ClaimWait. The only error is the caller's
+// own cancellation.
+func (w *Worker) acquireClaim(ctx context.Context, key string) (claimed bool, err error) {
 	poll := w.cfg.ClaimPoll
 	if poll <= 0 {
 		poll = 5 * time.Millisecond
 	}
+	cap := w.cfg.ClaimWait
+	if cap <= 0 {
+		cap = 30 * time.Second
+	}
+	waited := time.Duration(0)
 	for {
-		st, err := w.cfg.Store.Claim(key, w.cfg.ID)
+		st, err := w.cfg.Store.Claim(ctx, key, w.cfg.ID)
 		if err != nil {
-			return err
+			if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			// Retries exhausted: the store is unreachable from here.
+			// Degrade to local compute; the backlog publishes later.
+			metrics.Add("dist.worker.store_degraded", 1)
+			return false, nil
 		}
 		if st.State != "held" {
-			break
+			return true, nil
+		}
+		if waited >= cap {
+			metrics.Add("dist.worker.claim_wait_capped", 1)
+			return false, nil
 		}
 		// Another live node is computing this key; waiting is cheaper
 		// than a duplicate run, and a dead holder's claim is revoked by
 		// the coordinator, which unblocks the next poll.
 		metrics.Add("dist.worker.claim_wait", 1)
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(poll):
+		if err := sleepCtx(ctx, poll); err != nil {
+			return false, err
 		}
+		waited += poll
 	}
-	_, err := w.engine.Run(ctx, []campaign.Point{p})
-	if err != nil {
-		// Give the claim back so a retry (here or elsewhere) is granted
-		// instead of waiting on us.
-		w.cfg.Store.ReleaseClaim(key, w.cfg.ID)
-		return err
-	}
-	return nil
 }
 
 // workerStats is the /v1/stats shape.
 type workerStats struct {
-	ID        string             `json:"id"`
-	Points    int                `json:"points"`
-	Runs      int64              `json:"runs"`
-	Completed int64              `json:"completed"`
+	ID        string              `json:"id"`
+	Points    int                 `json:"points"`
+	Runs      int64               `json:"runs"`
+	Completed int64               `json:"completed"`
+	Backlog   int                 `json:"backlog"`
 	Cache     campaign.CacheStats `json:"cache"`
 }
 
@@ -191,6 +299,7 @@ func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
 	writeJSON(rw, workerStats{
 		ID: w.cfg.ID, Points: len(w.cfg.Points),
 		Runs: w.runs.Load(), Completed: w.completed.Load(),
-		Cache: w.engine.Cache().Stats(),
+		Backlog: w.cfg.Store.PendingBacklog(),
+		Cache:   w.engine.Cache().Stats(),
 	})
 }

@@ -47,6 +47,15 @@
 #                             1-node vs 4-node pulpino throughput pair
 #                             written to BENCH_dist.json (gated at
 #                             >= 1.8x at an identical qor_hash)
+#   scripts/check.sh chaos    network chaos tier: doubled -race over the
+#                             chaos/dist packages, a soak matrix of
+#                             every deterministic fault profile (flaky,
+#                             slow, partition, kill) x 3 seeds at 3
+#                             worker nodes diffed byte-for-byte against
+#                             the single-process reference, a WAL
+#                             written under chaos replayed by a clean
+#                             rerun, and campd store/worker SIGTERM
+#                             drain tests (exit 0, clean journal)
 #
 # BENCH_*.json files are written atomically (temp + rename), so a gate
 # failure or a kill mid-write never leaves a torn or half-updated file.
@@ -697,4 +706,132 @@ if [ "${1:-}" = "dist" ]; then
         }'
     mv BENCH_dist.json.tmp BENCH_dist.json
     echo "dist_gate=ok"
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+    # Network chaos tier: the distributed service under deterministic
+    # fault injection. The contract is the hard one from the failure
+    # model: with at least one live node, any fault schedule — dropped
+    # responses, injected 5xx, stalls, duplicated deliveries, scheduled
+    # partitions, a permanently killed worker — must still produce
+    # stdout byte-identical to the single-process sweep.
+    #
+    # 1. Doubled race tests over the chaos engine and the hardened
+    #    dist layer (RPC retries, membership, worker degrade/backfill,
+    #    graceful shutdown, goroutine-leak check).
+    go test -race -count=2 ./internal/chaos/... ./internal/dist/...
+
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    go build -o "$work/sprflow" ./cmd/sprflow
+    go build -o "$work/campd" ./cmd/campd
+
+    # 2. Soak matrix: every chaos profile x several seeds, 3 worker
+    #    nodes, diffed byte-for-byte against the single-process
+    #    reference. The partition profile runs a longer sweep so the
+    #    campaign is still in flight when the 400ms heal window opens
+    #    and the dead node can rejoin mid-run.
+    sweep3="-design tiny -sweep 3 -parallel 2"
+    sweep10="-design tiny -sweep 10 -parallel 2"
+    "$work/sprflow" $sweep3 > "$work/ref3.out"
+    "$work/sprflow" $sweep10 > "$work/ref10.out"
+    rejoined=""
+    for profile in flaky slow partition kill; do
+        case "$profile" in
+            partition) flags=$sweep10; ref="$work/ref10.out" ;;
+            *)         flags=$sweep3;  ref="$work/ref3.out" ;;
+        esac
+        for seed in 1 2 3; do
+            "$work/sprflow" $flags -dist-nodes 3 \
+                -chaos-profile "$profile" -chaos-seed "$seed" \
+                > "$work/chaos.out" 2> "$work/chaos.err"
+            if ! diff -u "$ref" "$work/chaos.out"; then
+                echo "check.sh: chaos profile=$profile seed=$seed differs from single-process reference" >&2
+                cat "$work/chaos.err" >&2
+                exit 1
+            fi
+            if ! grep -q 'chaos\.fault\.injected' "$work/chaos.err"; then
+                echo "check.sh: chaos profile=$profile seed=$seed injected no faults" >&2
+                exit 1
+            fi
+            if grep -q 'rejoined=[1-9]' "$work/chaos.err"; then
+                rejoined=1
+            fi
+        done
+        echo "chaos_profile_${profile}=ok"
+    done
+    if [ -z "$rejoined" ]; then
+        # Rejoin timing rides wall-clock probe cadence; the hard
+        # guarantee lives in TestSuspectDeadRejoinServesPoints.
+        echo "check.sh: no soak run saw a node rejoin (machine too fast/slow?)" >&2
+    fi
+
+    # 3. Durability under chaos: a flaky-profile sweep writing the
+    #    store WAL, then a clean (no-chaos) rerun against the same WAL
+    #    must replay finished points and emit the reference bytes.
+    "$work/sprflow" $sweep3 -dist-nodes 3 -journal "$work/cwal" \
+        -chaos-profile flaky -chaos-seed 1 > /dev/null 2>&1
+    "$work/sprflow" $sweep3 -dist-nodes 2 -journal "$work/cwal" \
+        > "$work/rerun.out" 2> "$work/rerun.err"
+    if ! diff -u "$work/ref3.out" "$work/rerun.out"; then
+        echo "check.sh: rerun against a WAL written under chaos differs from reference" >&2
+        exit 1
+    fi
+    if ! grep -q 'replayed=[1-9]' "$work/rerun.err"; then
+        echo "check.sh: WAL written under chaos replayed nothing" >&2
+        exit 1
+    fi
+
+    # 4. Graceful SIGTERM: a campd store (with WAL) and worker must
+    #    drain and exit 0 on SIGTERM — the orchestrator default — and
+    #    the store's journal must come back clean afterwards.
+    wait_addr() {
+        i=0
+        while [ "$i" -lt 100 ]; do
+            a=$(sed -n "s/^campd $1 listening on \([^ ]*\).*/\1/p" "$2")
+            if [ -n "$a" ]; then printf '%s' "$a"; return 0; fi
+            i=$((i+1)); sleep 0.05
+        done
+        echo "check.sh: $1 never reported its address" >&2
+        return 1
+    }
+    "$work/campd" -mode store -addr 127.0.0.1:0 -journal "$work/gwal" \
+        > "$work/gstore.out" 2> "$work/gstore.err" &
+    store_pid=$!
+    saddr=$(wait_addr store "$work/gstore.out")
+    "$work/campd" -mode worker -id w0 -addr 127.0.0.1:0 \
+        -store-url "http://$saddr" -design tiny -sweep 2 -parallel 1 \
+        > "$work/gw0.out" 2> "$work/gw0.err" &
+    w0_pid=$!
+    wait_addr "worker w0" "$work/gw0.out" > /dev/null
+    kill -TERM "$w0_pid"
+    if wait "$w0_pid"; then :; else
+        echo "check.sh: campd worker exited non-zero ($?) on SIGTERM" >&2
+        exit 1
+    fi
+    grep -q 'points completed' "$work/gw0.err" || {
+        echo "check.sh: campd worker skipped its drain path on SIGTERM" >&2
+        exit 1
+    }
+    kill -TERM "$store_pid"
+    if wait "$store_pid"; then :; else
+        echo "check.sh: campd store exited non-zero ($?) on SIGTERM" >&2
+        exit 1
+    fi
+    grep -q 'claims outstanding' "$work/gstore.err" || {
+        echo "check.sh: campd store skipped its drain path on SIGTERM" >&2
+        exit 1
+    }
+    "$work/campd" -mode store -addr 127.0.0.1:0 -journal "$work/gwal" \
+        > "$work/gstore2.out" 2> "$work/gstore2.err" &
+    store_pid=$!
+    wait_addr store "$work/gstore2.out" > /dev/null
+    kill -TERM "$store_pid"
+    wait "$store_pid" || true
+    grep -q '(0 corrupt)' "$work/gstore2.err" || {
+        echo "check.sh: store WAL corrupt after graceful SIGTERM" >&2
+        cat "$work/gstore2.err" >&2
+        exit 1
+    }
+    echo "chaos_gate=ok"
 fi
