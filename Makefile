@@ -16,7 +16,10 @@ dist:
 chaos:
 	scripts/check.sh chaos
 
+obs:
+	scripts/check.sh obs
+
 trace-demo:
 	scripts/check.sh trace
 
-.PHONY: check bench crash spec dist chaos trace-demo
+.PHONY: check bench crash spec dist chaos obs trace-demo

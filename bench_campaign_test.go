@@ -15,8 +15,10 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/flow"
+	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/trace"
+	"repro/internal/warehouse"
 )
 
 // campaignStudies is how many times the benchmark workload revisits the
@@ -116,4 +118,44 @@ func BenchmarkCampaignTraced(b *testing.B) {
 	b.ReportMetric(area, "qor_area_sum")
 	b.ReportMetric(hitRate, "cache_hit_rate")
 	b.ReportMetric(float64(spans), "spans")
+}
+
+// BenchmarkCampaignWarehoused is BenchmarkCampaignParallel with a
+// warehouse emitter wired as the campaign observer: every flow stage of
+// every point lands as a METRICS record in an in-memory warehouse.
+// scripts/check.sh bench gates the overhead against the untraced
+// parallel run at <=5%, same bar as tracing.
+func BenchmarkCampaignWarehoused(b *testing.B) {
+	design := NewDesign(DefaultLibrary(), TinyDesign(1))
+	pts := campaignBenchPoints(design, campaign.KeyFor(design))
+	var area, hitRate float64
+	var records int
+	for i := 0; i < b.N; i++ {
+		// Fresh warehouse and cache per iteration, mirroring the parallel
+		// benchmark's cold start.
+		wh, err := warehouse.Open("", journal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit := warehouse.NewEmitter(CampaignID(pts), "bench", pointKeys(pts), wh)
+		cache := campaign.NewCache(0)
+		eng := campaign.New(campaign.Config{Cache: cache, Observer: emit})
+		area = 0
+		for study := 0; study < campaignStudies; study++ {
+			results, err := eng.Run(context.Background(), pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				area += r.AreaUm2
+			}
+		}
+		emit.Flush()
+		hitRate = cache.HitRate()
+		records = wh.Stats().Records
+		wh.Close()
+	}
+	b.ReportMetric(area, "qor_area_sum")
+	b.ReportMetric(hitRate, "cache_hit_rate")
+	b.ReportMetric(float64(records), "records")
 }

@@ -44,19 +44,33 @@
 // and a Chrome trace_event JSON file is written at exit (open it in
 // chrome://tracing or https://ui.perfetto.dev). With -metrics-addr the
 // live introspection endpoints (/metrics, /debug/spans, /debug/hist,
-// /debug/pprof) are served while the run is in flight.
+// /debug/pprof) are served while the run is in flight; -span-retention
+// bounds the tracer's finished-span memory. In -dist-nodes mode the
+// trace is stitched: worker and store spans parent under the
+// coordinator's dispatch attempts via propagated Trace-Id/Span-Id
+// headers, so retries and reroutes are visible child spans.
+//
+// With -warehouse DIR every flow stage of every sweep point lands as
+// one structured record in a WAL-backed METRICS warehouse (queryable
+// via the /warehouse/ API on -metrics-addr; live-tailable via its
+// /v1/tail SSE stream). -warehouse-dump FILE writes the campaign's
+// canonical dump, which is byte-identical across node counts and after
+// kill -9/replay.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"repro"
 	"repro/internal/dist"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/warehouse"
 )
 
 func main() {
@@ -84,9 +98,42 @@ func run() int {
 	routeWorkers := flag.Int("route-workers", 0, "concurrent regions for -route-tiles (0 = all; results identical at any setting)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run (view in chrome://tracing or Perfetto)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics and /debug endpoints on this address (e.g. :8080)")
+	spanRetention := flag.Int("span-retention", -1, "cap retained finished spans (0 = default 64k ≈ 8 MB bound, <0 = unbounded; overflow counts as droppedSpans in the trace file)")
+	warehouseDir := flag.String("warehouse", "", "ingest one METRICS record per flow stage per point into a WAL-backed warehouse at DIR during -sweep (\"mem\" = in-memory only)")
+	warehouseDump := flag.String("warehouse-dump", "", "write the campaign's canonical warehouse dump (byte-identical across node counts and crash/replay) to FILE after the sweep (- = stdout omitted; requires -warehouse)")
 	flag.Parse()
 
-	flush, err := obs.Setup(*traceFile, *metricsAddr)
+	var wh *warehouse.Warehouse
+	if *warehouseDir != "" {
+		dir := *warehouseDir
+		if dir == "mem" {
+			dir = ""
+		}
+		var err error
+		wh, err = warehouse.Open(dir, journal.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer wh.Close()
+	}
+	if *warehouseDump != "" && wh == nil {
+		fmt.Fprintln(os.Stderr, "-warehouse-dump requires -warehouse")
+		return 2
+	}
+
+	var aux map[string]http.Handler
+	if wh != nil && *metricsAddr != "" {
+		aux = map[string]http.Handler{
+			"/warehouse/": http.StripPrefix("/warehouse", warehouse.NewHandler(wh)),
+		}
+	}
+	flush, err := obs.SetupCfg(obs.Config{
+		TraceFile:     *traceFile,
+		MetricsAddr:   *metricsAddr,
+		SpanRetention: *spanRetention,
+		Aux:           aux,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -142,6 +189,8 @@ func run() int {
 			distNodes:    *distNodes,
 			chaosProfile: *chaosProfile,
 			chaosSeed:    *chaosSeed,
+			warehouse:    wh,
+			whDump:       *warehouseDump,
 		})
 	}
 
@@ -197,6 +246,8 @@ type sweepConfig struct {
 	distNodes    int
 	chaosProfile string
 	chaosSeed    int64
+	warehouse    *warehouse.Warehouse
+	whDump       string
 }
 
 // runSweep executes the crash-safe QOR sweep: nSeeds seeds at three
@@ -222,16 +273,23 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOpti
 		Speculate:        cfg.speculate,
 		SpecTolerancePct: cfg.specTol,
 	}
+	if cfg.warehouse != nil {
+		scfg.Warehouse = cfg.warehouse
+	}
 	var res repro.SweepResult
 	var err error
 	if cfg.distNodes > 0 {
 		var dstats dist.CoordStats
+		// In dist mode the warehouse is fed over loopback HTTP by every
+		// node, so leave the in-process observer unset.
+		scfg.Warehouse = nil
 		res, err = repro.DistSweep(repro.DistSweepConfig{
 			SweepConfig:  scfg,
 			Nodes:        cfg.distNodes,
 			ChaosProfile: cfg.chaosProfile,
 			ChaosSeed:    cfg.chaosSeed,
 			Stats:        &dstats,
+			Warehouse:    cfg.warehouse,
 		})
 		// Failure-handling accounting goes to stderr so stdout stays a
 		// byte-diffable result stream under any fault schedule.
@@ -263,6 +321,28 @@ func runSweep(d *repro.Design, baseFreq float64, seed int64, base repro.FlowOpti
 		// by the campaign (spec.chain.*, spec.stage.*, predict.*).
 		metrics.Default.WritePrefix(os.Stderr, "spec.")
 		metrics.Default.WritePrefix(os.Stderr, "predict.")
+	}
+	if cfg.warehouse != nil {
+		st := cfg.warehouse.Stats()
+		fmt.Fprintf(os.Stderr, "warehouse: %d records (%d deduped, %d replayed, %d torn tails)\n",
+			st.Records, st.Deduped, st.Replayed, st.Torn)
+		if cfg.whDump != "" {
+			pts, perr := repro.CampaignPoints(scfg)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "warehouse dump: %v\n", perr)
+				return 1
+			}
+			f, ferr := os.Create(cfg.whDump)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "warehouse dump: %v\n", ferr)
+				return 1
+			}
+			cfg.warehouse.DumpCanonical(f, repro.CampaignID(pts))
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "warehouse dump: %v\n", cerr)
+				return 1
+			}
+		}
 	}
 	res.Print(os.Stdout)
 	return 0

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	tracecheck trace.json [-require campaign.point,flow.run]
+//	tracecheck trace.json [-require campaign.point,flow.run] [-require-arg node=w0,node=w1]
 //
-// Exits nonzero on a malformed or empty trace, or when a -require'd
-// span name is absent. scripts/check.sh trace uses it to gate the
+// Exits nonzero on a malformed or empty trace, when a -require'd span
+// name is absent, or when no event carries a -require-arg'd key=value
+// arg (how scripts/check.sh obs proves a stitched multi-node trace has
+// spans from every node). scripts/check.sh trace uses it to gate the
 // end-to-end -trace flag.
 package main
 
@@ -23,11 +25,12 @@ import (
 )
 
 type event struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Tid  uint64  `json:"tid"`
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args"`
 }
 
 type traceDoc struct {
@@ -41,6 +44,7 @@ func main() {
 
 func run() int {
 	require := flag.String("require", "", "comma-separated span names that must appear")
+	requireArg := flag.String("require-arg", "", "comma-separated key=value pairs; each must appear in some event's args (e.g. node=w0,node=w1 proves spans from both nodes landed in the stitched trace)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require a,b] trace.json")
@@ -65,6 +69,7 @@ func run() int {
 	counts := map[string]int{}
 	totalUs := map[string]float64{}
 	lanes := map[uint64]struct{}{}
+	argSeen := map[string]int{}
 	for i, ev := range doc.TraceEvents {
 		if ev.Name == "" || ev.Ph != "X" || ev.Ts < 0 || ev.Dur < 0 || ev.Tid == 0 {
 			fmt.Fprintf(os.Stderr, "tracecheck: malformed event %d: %+v\n", i, ev)
@@ -73,6 +78,9 @@ func run() int {
 		counts[ev.Name]++
 		totalUs[ev.Name] += ev.Dur
 		lanes[ev.Tid] = struct{}{}
+		for k, v := range ev.Args {
+			argSeen[k+"="+v]++
+		}
 	}
 
 	if *require != "" {
@@ -81,6 +89,19 @@ func run() int {
 			name = strings.TrimSpace(name)
 			if name != "" && counts[name] == 0 {
 				fmt.Fprintf(os.Stderr, "tracecheck: required span %q absent from %s\n", name, path)
+				missing = true
+			}
+		}
+		if missing {
+			return 1
+		}
+	}
+	if *requireArg != "" {
+		missing := false
+		for _, pair := range strings.Split(*requireArg, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair != "" && argSeen[pair] == 0 {
+				fmt.Fprintf(os.Stderr, "tracecheck: no event with arg %q in %s\n", pair, path)
 				missing = true
 			}
 		}

@@ -10,6 +10,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"reflect"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/logfile"
 	"repro/internal/spec"
+	"repro/internal/warehouse"
 )
 
 // ResumeStats re-exports the campaign resume accounting.
@@ -102,6 +104,34 @@ type SweepConfig struct {
 	// SpecTolerancePct is the speculative commit tolerance on predicted
 	// stage scalars (0 = the flow default, 1%).
 	SpecTolerancePct float64
+	// Warehouse, when non-nil, receives one METRICS record per flow
+	// stage per point (node "local") through a warehouse emitter wired
+	// as the campaign observer.
+	Warehouse warehouse.Appender
+}
+
+// CampaignID derives the stable identity of a campaign from its point
+// list: the fnv-64a of every point's cache key in order. Every process
+// that derives the same point list — the single-node sweep, each campd
+// worker, the coordinator — computes the same id, which is what lets
+// warehouse records from any node land in one queryable campaign.
+func CampaignID(pts []campaign.Point) string {
+	h := fnv.New64a()
+	for _, p := range pts {
+		io.WriteString(h, p.CacheKey()) //nolint:errcheck
+		h.Write([]byte{0})              //nolint:errcheck
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// pointKeys lists the canonical options key of every point, in point
+// order — the emitter's step-record-to-point-index map.
+func pointKeys(pts []campaign.Point) []string {
+	keys := make([]string, len(pts))
+	for i, p := range pts {
+		keys[i] = p.Options.Key()
+	}
+	return keys
 }
 
 // SweepPoint is one (frequency, seed) outcome.
@@ -146,6 +176,12 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 	}
 	if cfg.Speculate {
 		ecfg.Oracle = spec.NewMemory(spec.Options{CrossSeed: true})
+	}
+	var emit *warehouse.Emitter
+	if cfg.Warehouse != nil {
+		emit = warehouse.NewEmitter(CampaignID(pts), "local", pointKeys(pts), cfg.Warehouse)
+		ecfg.Observer = emit
+		defer emit.Flush()
 	}
 	var out SweepResult
 	var jrn *campaign.Journal

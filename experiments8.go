@@ -15,6 +15,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/flow"
 	"repro/internal/journal"
+	"repro/internal/warehouse"
 )
 
 // CampaignPoints expands a SweepConfig into the campaign's point list —
@@ -69,6 +71,12 @@ type DistSweepConfig struct {
 	// Stats, when non-nil, receives the coordinator's failure-handling
 	// counters after the run (suspected, rejoined, rerouted, ...).
 	Stats *dist.CoordStats
+	// Warehouse, when non-nil, is served over loopback HTTP for the
+	// duration of the sweep, and every worker node ingests its METRICS
+	// records through its own HTTP client — the same ingest path a
+	// multi-host fleet uses. Ingestion always bypasses the chaos
+	// transports: observability must survive the faults it describes.
+	Warehouse *warehouse.Warehouse
 }
 
 // DistSweep runs the sweep through the full coordinator/worker/store
@@ -136,6 +144,25 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 		out.Resume = ResumeStats{Replayed: st.Recovered, Corrupt: st.Corrupt}
 	}
 
+	// With a warehouse configured, serve it over loopback and hand every
+	// node its own HTTP ingest client — records flow node → warehouse
+	// exactly as they would across real hosts, and first-wins dedupe on
+	// (campaign, point, stage) absorbs replays and duplicate computes.
+	var whURL string
+	var emitters []*warehouse.Emitter
+	if cfg.Warehouse != nil {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return out, err
+		}
+		whSrv := &http.Server{Handler: warehouse.NewHandler(cfg.Warehouse)}
+		go whSrv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		defer whSrv.Close()
+		whURL = "http://" + ln.Addr().String()
+	}
+	campaignID := CampaignID(pts)
+	keys := pointKeys(pts)
+
 	var coordNodes []dist.Node
 	for i := 0; i < nodes; i++ {
 		id := fmt.Sprintf("w%d", i)
@@ -147,12 +174,19 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 			wclient = dist.NewStoreClientCfg("http://"+addr, dist.ClientConfig{RPC: rpcFor(id)})
 			defer wclient.Close()
 		}
+		var obsv flow.Observer
+		if whURL != "" {
+			emit := warehouse.NewEmitter(campaignID, id, keys, warehouse.NewClient(whURL))
+			emitters = append(emitters, emit)
+			obsv = emit
+		}
 		w := dist.NewWorker(dist.WorkerConfig{
 			ID:           id,
 			Points:       pts,
 			Store:        wclient,
 			Workers:      cfg.Workers,
 			StageTimeout: cfg.StageTimeout,
+			Observer:     obsv,
 		})
 		waddr, err := w.Start("127.0.0.1:0")
 		if err != nil {
@@ -172,6 +206,9 @@ func DistSweep(cfg DistSweepConfig) (SweepResult, error) {
 		return out, err
 	}
 	results, err := coord.Run(context.Background())
+	for _, emit := range emitters {
+		emit.Flush()
+	}
 	if cfg.Stats != nil {
 		*cfg.Stats = coord.Stats()
 	}

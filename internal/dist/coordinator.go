@@ -495,11 +495,21 @@ func (c *Coordinator) dispatch(ctx context.Context, id string, idx int) (status 
 		stop := context.AfterFunc(nctx, cancel)
 		defer stop()
 	}
+	// One span per dispatch: its dist.rpc attempt children carry the
+	// trace context to the worker, so the node's entire compute subtree
+	// stitches under this exact assignment (reroutes get a new dispatch
+	// span on the new node).
+	dctx, dsp := trace.Start(dctx, "dist.dispatch")
+	dsp.Set("node", id)
+	dsp.SetInt("index", int64(idx))
 	payload, _ := json.Marshal(runRequest{Index: idx})
 	res, err := r.do(dctx, "run", http.MethodPost, c.urls[id]+"/v1/run", payload, 1<<16, true)
 	if err != nil {
+		dsp.EndErr(err)
 		return 0, "", err
 	}
+	dsp.SetInt("status", int64(res.status))
+	dsp.End()
 	return res.status, string(res.body), nil
 }
 

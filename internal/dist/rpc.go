@@ -14,6 +14,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/num"
+	"repro/internal/trace"
 )
 
 // RPCConfig hardens one HTTP client against the network. The zero value
@@ -153,8 +154,20 @@ func (r *rpc) do(ctx context.Context, op, method, url string, body []byte, maxBo
 	var lastErr error
 	retries := r.cfg.retries()
 	for attempt := 0; ; attempt++ {
-		res, err := r.once(ctx, op, method, url, body, maxBody, long)
+		// One span per logical attempt: the receiver adopts this span's
+		// identity from the injected headers, so its server-side work
+		// parents under exactly the attempt that carried it — retries and
+		// reroutes become visible sibling children in the stitched trace.
+		actx, asp := trace.Start(ctx, "dist.rpc")
+		asp.Set("op", op)
+		asp.Set("target", r.target)
+		asp.SetInt("attempt", int64(attempt))
+		res, err := r.once(actx, op, method, url, body, maxBody, long)
+		if err == nil {
+			asp.SetInt("status", int64(res.status))
+		}
 		if err == nil && !transientStatus(res.status) {
+			asp.End()
 			return res, nil
 		}
 		if err == nil {
@@ -163,6 +176,7 @@ func (r *rpc) do(ctx context.Context, op, method, url string, body []byte, maxBo
 			lastErr = err
 		}
 		if attempt >= retries || (err != nil && !transientErr(ctx, err)) {
+			asp.EndWith(trace.Failed)
 			if err == nil {
 				// Out of retries on a 5xx: surface the status to the
 				// caller (the coordinator's suspicion machinery wants the
@@ -171,6 +185,7 @@ func (r *rpc) do(ctx context.Context, op, method, url string, body []byte, maxBo
 			}
 			return rpcResult{}, lastErr
 		}
+		asp.EndWith(trace.Retry)
 		metrics.Add("dist.rpc.retried", 1)
 		if err := sleepCtx(ctx, r.backoff(op, attempt)); err != nil {
 			return rpcResult{}, lastErr
@@ -199,6 +214,7 @@ func (r *rpc) once(ctx context.Context, op, method, url string, body []byte, max
 	}
 	req.Header.Set(chaos.TargetHeader, r.target)
 	req.Header.Set(chaos.OpHeader, op)
+	trace.InjectHTTP(actx, req.Header)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return rpcResult{}, err

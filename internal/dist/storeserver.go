@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+
+	"repro/internal/trace"
 )
 
 // StoreServer exposes a Store over HTTP — the central box every worker
@@ -44,6 +46,7 @@ func (s *StoreServer) Start(addr string) (string, error) {
 	mux.HandleFunc("/v1/release-node", s.handleReleaseNode)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", handleHealthz)
+	mountNodeDebug(mux)
 	return s.node.start(addr, mux)
 }
 
@@ -79,16 +82,24 @@ func (s *StoreServer) handleEntry(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data) //nolint:errcheck
 	case http.MethodPut, http.MethodPost:
+		// Adopt the caller's trace context so the durable write (WAL
+		// append included) shows up under the worker's publish attempt in
+		// the stitched trace.
+		_, sp := trace.Start(trace.AdoptHTTP(r.Context(), r.Header), "dist.store.put")
+		sp.Set("key", key)
 		data, err := io.ReadAll(io.LimitReader(r.Body, maxEntryBytes))
 		if err != nil {
+			sp.EndErr(err)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		stored, err := s.store.Put(key, data)
 		if err != nil {
+			sp.EndErr(err)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		sp.End()
 		writeJSON(w, map[string]bool{"stored": stored})
 	default:
 		http.Error(w, "GET or PUT required", http.StatusMethodNotAllowed)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/flow"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -73,6 +74,10 @@ type WorkerConfig struct {
 	// nobody revokes — a duplicate compute costs cycles, a forever-wait
 	// costs the campaign.
 	ClaimWait time.Duration
+	// Observer receives flow step records from every point this node
+	// computes or replays — the hook the METRICS warehouse emitter
+	// plugs into (nil = none).
+	Observer flow.Observer
 }
 
 // NewWorker builds a worker whose engine caches through the store.
@@ -84,6 +89,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		Cache:        cache,
 		Retry:        cfg.Retry,
 		StageTimeout: cfg.StageTimeout,
+		Observer:     cfg.Observer,
 	})
 	return &Worker{cfg: cfg, engine: eng}
 }
@@ -95,6 +101,7 @@ func (w *Worker) Start(addr string) (string, error) {
 	mux.HandleFunc("/v1/run", w.handleRun)
 	mux.HandleFunc("/v1/stats", w.handleStats)
 	mux.HandleFunc("/healthz", handleHealthz)
+	mountNodeDebug(mux)
 	return w.node.start(addr, mux)
 }
 
@@ -186,8 +193,13 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		w.Close()                                     //nolint:errcheck
 		return
 	}
-	ctx, sp := trace.Start(r.Context(), "dist.worker.run")
+	// Adopt the coordinator's trace context from the RPC headers: this
+	// span (and every campaign/flow span under it) parents under the
+	// exact dispatch attempt that carried the request, stitching the
+	// node's work into the coordinator's trace.
+	ctx, sp := trace.Start(trace.AdoptHTTP(r.Context(), r.Header), "dist.worker.run")
 	sp.SetInt("index", int64(req.Index))
+	sp.Set("node", w.cfg.ID)
 	if err := w.runPoint(ctx, p, key); err != nil {
 		sp.EndErr(err)
 		if err == errUnavailable || ctx.Err() != nil {

@@ -50,6 +50,11 @@ type Server struct {
 	// (/v1/campaigns...) on this server. Set it before Start.
 	FrontDoor *FrontDoor
 
+	// Aux mounts extra handlers by pattern before Start — how the span
+	// collector ("/v1/spans") and the METRICS warehouse ("/warehouse/")
+	// ride on this server without this package importing them.
+	Aux map[string]http.Handler
+
 	// mu guards the serve/close lifecycle so Start, Close and in-flight
 	// handlers can race freely: Close is idempotent, Start after Close
 	// fails instead of leaking a listener, and a handler that runs
@@ -113,6 +118,9 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if s.FrontDoor != nil {
 		s.FrontDoor.mount(mux)
+	}
+	for pattern, h := range s.Aux {
+		mux.Handle(pattern, h)
 	}
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always returns on Close

@@ -117,6 +117,46 @@ func (h *Hist) Snapshot(name string) HistSnapshot {
 	return s
 }
 
+// Merge folds a snapshot taken on another node into this histogram —
+// the cross-node aggregation path: each worker snapshots its per-stage
+// Hist, ships it inside warehouse records or span batches, and the
+// warehouse Merges them into fleet-wide percentiles. Every update is an
+// atomic add/CAS, so Merge is safe against concurrent Observe and
+// concurrent Merges from other nodes.
+func (h *Hist) Merge(snap HistSnapshot) {
+	var n int64
+	for _, b := range snap.Buckets {
+		i := bits.Len64(uint64(b.UpperUs)) - 1 // invert bucketUpperUs: 2^i → i
+		if i < 0 {
+			i = 0
+		}
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+		h.counts[i].Add(b.Count)
+		n += b.Count
+	}
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sumNs.Add(int64(snap.MeanUs * 1e3 * float64(snap.Count)))
+	maxNs := int64(snap.MaxUs * 1e3)
+	for {
+		cur := h.maxNs.Load()
+		if maxNs <= cur || h.maxNs.CompareAndSwap(cur, maxNs) {
+			break
+		}
+	}
+}
+
+// Merge folds a set of remote snapshots into this registry by name.
+func (s *HistSet) Merge(snaps []HistSnapshot) {
+	for _, snap := range snaps {
+		s.Hist(snap.Name).Merge(snap)
+	}
+}
+
 // HistSet is a registry of histograms keyed by span name, with the same
 // read-mostly locking idiom as metrics.Counters.
 type HistSet struct {

@@ -77,6 +77,7 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64
+	root   uint64 // root ancestor id — the trace id this span belongs to
 	name   string
 	start  time.Duration
 	attrs  []Attr
@@ -111,12 +112,49 @@ type Tracer struct {
 	dropped       atomic.Int64
 }
 
+// DefaultRetention is the finished-span cap the CLIs arm by default:
+// 64k spans at ~128 bytes each (SpanData plus a few attrs) bounds the
+// collector near 8 MB however long the campaign runs. Override with
+// Config.Retention / the -span-retention flag.
+const DefaultRetention = 1 << 16
+
+// Config parameterizes a tracer beyond the retention cap.
+type Config struct {
+	// Retention caps retained finished spans: 0 selects
+	// DefaultRetention, < 0 is unbounded.
+	Retention int
+	// NodeID namespaces span ids: ids are allocated from
+	// NodeID<<48 + 1 upward, so spans from up to 65536 processes can be
+	// shipped to one collector without id collisions (2^48 spans per
+	// node before wraparound — far beyond any campaign).
+	NodeID uint16
+}
+
 // New creates a tracer retaining up to limit finished spans
 // (limit <= 0 = unbounded). Histograms and live-span tracking are
 // always on; only the finished-span buffer is bounded.
 func New(limit int) *Tracer {
+	return NewCfg(Config{Retention: pickRetention(limit)})
+}
+
+// pickRetention maps New's legacy limit (0 = unbounded) onto Config's
+// (0 = default, <0 = unbounded).
+func pickRetention(limit int) int {
+	if limit <= 0 {
+		return -1
+	}
+	return limit
+}
+
+// NewCfg creates a tracer from a Config.
+func NewCfg(cfg Config) *Tracer {
 	t := &Tracer{epoch: time.Now(), hists: NewHistSet()}
 	t.now = func() time.Duration { return time.Since(t.epoch) }
+	t.ids.Store(uint64(cfg.NodeID) << 48)
+	limit := cfg.Retention
+	if limit == 0 {
+		limit = DefaultRetention
+	}
 	if limit > 0 {
 		t.limitPerShard = (limit + shardCount - 1) / shardCount
 	}
@@ -125,6 +163,11 @@ func New(limit int) *Tracer {
 	}
 	return t
 }
+
+// Epoch returns the tracer's wall-clock origin: span Start offsets are
+// relative to it, and the collector uses the difference between two
+// tracers' epochs to shift shipped spans onto its own timeline.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
 
 // SetClock replaces the tracer's clock with a deterministic one (tests:
 // golden traces need stable timestamps). Must be called before any span
@@ -155,11 +198,47 @@ func Enabled() bool { return active.Load() != nil }
 // ctxKey carries the current span through a context.
 type ctxKey struct{}
 
+// remoteKey carries an adopted remote parent (a span living in another
+// process's tracer) through a context — the receiving half of the
+// Trace-Id/Span-Id RPC headers.
+type remoteKey struct{}
+
+type remoteRef struct {
+	trace uint64 // remote root ancestor id
+	span  uint64 // remote parent span id
+}
+
 // FromContext returns the span carried by ctx (nil if none or tracing
 // is off).
 func FromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(ctxKey{}).(*Span)
 	return s
+}
+
+// Inject extracts the propagation identity of the span in ctx: the
+// trace id (root ancestor) and the span id to parent remote children
+// under. Both are 0 when ctx carries no span — callers skip stamping
+// headers in that case.
+func Inject(ctx context.Context) (traceID, spanID uint64) {
+	if s := FromContext(ctx); s != nil {
+		return s.root, s.id
+	}
+	return 0, 0
+}
+
+// Adopt returns a context under which the next Start parents its span
+// on the remote span (traceID, spanID) — the span id stamped by a peer
+// process's Inject. A zero spanID returns ctx unchanged. A local span
+// already in ctx wins over the remote ref (an in-process caller's chain
+// is always more precise than a header).
+func Adopt(ctx context.Context, traceID, spanID uint64) context.Context {
+	if spanID == 0 {
+		return ctx
+	}
+	if traceID == 0 {
+		traceID = spanID
+	}
+	return context.WithValue(ctx, remoteKey{}, remoteRef{trace: traceID, span: spanID})
 }
 
 // Start begins a span named name as a child of the span in ctx (root if
@@ -172,12 +251,7 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
-	var parent uint64
-	if p := FromContext(ctx); p != nil {
-		parent = p.id
-	}
-	s := t.start(name, parent)
-	return context.WithValue(ctx, ctxKey{}, s), s
+	return t.StartOn(ctx, name)
 }
 
 // Begin starts a detached root span with no context — for call sites
@@ -188,7 +262,7 @@ func Begin(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.start(name, 0)
+	return t.start(name, 0, 0)
 }
 
 // StartOn begins a span on an explicit tracer (tests and tools that
@@ -197,21 +271,31 @@ func (t *Tracer) StartOn(ctx context.Context, name string) (context.Context, *Sp
 	if t == nil {
 		return ctx, nil
 	}
-	var parent uint64
+	var parent, root uint64
 	if p := FromContext(ctx); p != nil {
-		parent = p.id
+		parent, root = p.id, p.root
+	} else if rp, ok := ctx.Value(remoteKey{}).(remoteRef); ok {
+		parent, root = rp.span, rp.trace
 	}
-	s := t.start(name, parent)
+	s := t.start(name, parent, root)
 	return context.WithValue(ctx, ctxKey{}, s), s
 }
 
-func (t *Tracer) start(name string, parent uint64) *Span {
+func (t *Tracer) start(name string, parent, root uint64) *Span {
 	s := &Span{
 		tr:     t,
 		id:     t.ids.Add(1),
 		parent: parent,
+		root:   root,
 		name:   name,
 		start:  t.now(),
+	}
+	if s.root == 0 {
+		if parent != 0 {
+			s.root = parent
+		} else {
+			s.root = s.id
+		}
 	}
 	sh := &t.shards[s.id&(shardCount-1)]
 	sh.mu.Lock()
@@ -372,6 +456,49 @@ func (t *Tracer) Live() []LiveSpan {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// Drain removes and returns every retained finished span, sorted like
+// Snapshot. It is the shipping half of span collection: a worker drains
+// its tracer periodically and POSTs the batch to the coordinator's
+// collector, so retention memory does not accumulate on the node.
+func (t *Tracer) Drain() []SpanData {
+	var spans []SpanData
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		spans = append(spans, sh.done...)
+		sh.done = nil
+		sh.mu.Unlock()
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans
+}
+
+// Ingest inserts finished spans shipped from another tracer, shifting
+// each Start by skew (shipper epoch minus this tracer's epoch) so all
+// nodes land on one timeline. Span ids must be pre-namespaced via
+// Config.NodeID. Durations feed this tracer's histograms, giving the
+// collector fleet-wide percentiles.
+func (t *Tracer) Ingest(spans []SpanData, skew time.Duration) {
+	for _, sd := range spans {
+		sd.Start += skew
+		sh := &t.shards[sd.ID&(shardCount-1)]
+		sh.mu.Lock()
+		sh.done = append(sh.done, sd)
+		if t.limitPerShard > 0 && len(sh.done) > t.limitPerShard {
+			over := len(sh.done) - t.limitPerShard
+			sh.done = append(sh.done[:0], sh.done[over:]...)
+			t.dropped.Add(int64(over))
+		}
+		sh.mu.Unlock()
+		t.hists.Observe(sd.Name, sd.Dur)
+	}
 }
 
 // Histograms returns the tracer's per-span-name latency histograms.

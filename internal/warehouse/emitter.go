@@ -1,0 +1,108 @@
+package warehouse
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// flushBatch is how many buffered records trigger a ship.
+const flushBatch = 32
+
+// Emitter adapts flow step records into warehouse records — the
+// METRICS "wrapper" glue. Wire it as the campaign's flow.Observer; it
+// resolves each step to its campaign point index via the canonical
+// options key, stamps campaign/node/corner, and ships batches to the
+// sink (a local *Warehouse or a remote *Client).
+type Emitter struct {
+	campaign string
+	node     string
+	sink     Appender
+	pointOf  map[string]int // flow.Options.Key() → point index
+
+	mu  sync.Mutex
+	buf []Record
+}
+
+// NewEmitter creates an emitter for one campaign. pointKeys is the
+// campaign's canonical point list as flow.Options keys, in point
+// order — every process derives the identical list from the sweep spec,
+// so point indices agree fleet-wide.
+func NewEmitter(campaignID, node string, pointKeys []string, sink Appender) *Emitter {
+	m := make(map[string]int, len(pointKeys))
+	for i, k := range pointKeys {
+		if _, dup := m[k]; !dup {
+			m[k] = i
+		}
+	}
+	return &Emitter{campaign: campaignID, node: node, sink: sink, pointOf: m}
+}
+
+// OnStep implements flow.Observer.
+func (e *Emitter) OnStep(rec flow.StepRecord) {
+	key := rec.Options.Key()
+	idx, ok := e.pointOf[key]
+	if !ok {
+		return // a run outside the campaign's point list (probes, tests)
+	}
+	scalars := make(map[string]float64, len(rec.Metrics))
+	for k, v := range rec.Metrics {
+		scalars[k] = v
+	}
+	r := Record{
+		Campaign: e.campaign,
+		Point:    idx,
+		Stage:    rec.Step,
+		Node:     e.node,
+		Corner:   "typ",
+		Key:      key,
+		Design:   rec.Design,
+		Seed:     rec.Options.Seed,
+		FreqGHz:  rec.Options.TargetFreqGHz,
+		Outcome:  "ok",
+		Scalars:  scalars,
+		Unix:     time.Now().Unix(),
+	}
+	e.mu.Lock()
+	e.buf = append(e.buf, r)
+	var ship []Record
+	if len(e.buf) >= flushBatch {
+		ship = e.buf
+		e.buf = nil
+	}
+	e.mu.Unlock()
+	e.ship(ship)
+}
+
+// Flush ships everything buffered. Call after the campaign completes
+// (and before reading the warehouse back).
+func (e *Emitter) Flush() {
+	e.mu.Lock()
+	ship := e.buf
+	e.buf = nil
+	e.mu.Unlock()
+	e.ship(ship)
+}
+
+func (e *Emitter) ship(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	var err error
+	if b, ok := e.sink.(interface{ AppendBatch([]Record) error }); ok {
+		err = b.AppendBatch(recs)
+	} else {
+		for _, r := range recs {
+			if aerr := e.sink.Append(r); aerr != nil {
+				err = aerr
+			}
+		}
+	}
+	if err != nil {
+		// Observability must never fail the campaign: report and move on.
+		fmt.Fprintf(os.Stderr, "warehouse emitter (%s): %v\n", e.node, err)
+	}
+}

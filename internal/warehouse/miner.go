@@ -1,0 +1,114 @@
+package warehouse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Regression is one flagged metric delta between two campaigns.
+type Regression struct {
+	Stage    string
+	Scalar   string
+	Base     float64 // mean over the base campaign's records
+	Head     float64 // mean over the head campaign's records
+	DeltaPct float64 // signed percent change head vs base
+	Worse    bool    // true when the change is in the bad direction
+}
+
+// higherIsBetter marks the scalars whose increase is an improvement;
+// everything else (area, power, runtime, drvs, ...) is
+// lower-is-better.
+var higherIsBetter = map[string]bool{
+	"wns_ps":      true, // less negative slack is better
+	"maxfreq_ghz": true,
+}
+
+// Mine compares two campaigns stage by stage: for every scalar present
+// in both, it computes the mean over each campaign's records and flags
+// changes beyond tolerancePct. This is the paper's "mining" box in its
+// smallest useful form — enough to catch "this code/flow change made
+// droute 8% slower" from the warehouse alone.
+func Mine(w *Warehouse, baseCampaign, headCampaign string, tolerancePct float64) []Regression {
+	baseMeans := stageMeans(w.Select(Query{Campaign: baseCampaign}))
+	headMeans := stageMeans(w.Select(Query{Campaign: headCampaign}))
+	var out []Regression
+	for key, b := range baseMeans {
+		h, ok := headMeans[key]
+		if !ok {
+			continue
+		}
+		var deltaPct float64
+		switch {
+		case b.mean != 0:
+			deltaPct = (h.mean - b.mean) / abs(b.mean) * 100
+		case h.mean != 0:
+			deltaPct = 100
+		}
+		if abs(deltaPct) <= tolerancePct {
+			continue
+		}
+		worse := deltaPct > 0
+		if higherIsBetter[key.scalar] {
+			worse = !worse
+		}
+		out = append(out, Regression{
+			Stage: key.stage, Scalar: key.scalar,
+			Base: b.mean, Head: h.mean, DeltaPct: deltaPct, Worse: worse,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Worse != out[j].Worse {
+			return out[i].Worse
+		}
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Scalar < out[j].Scalar
+	})
+	return out
+}
+
+// WriteRegressions renders a miner report, worst first.
+func WriteRegressions(out io.Writer, regs []Regression) {
+	for _, r := range regs {
+		tag := "improved"
+		if r.Worse {
+			tag = "REGRESSED"
+		}
+		fmt.Fprintf(out, "%s %s.%s base=%.3f head=%.3f delta=%+.1f%%\n",
+			tag, r.Stage, r.Scalar, r.Base, r.Head, r.DeltaPct)
+	}
+}
+
+type stageScalar struct{ stage, scalar string }
+
+type meanAcc struct {
+	mean float64
+	n    int
+}
+
+func stageMeans(recs []Record) map[stageScalar]meanAcc {
+	sums := map[stageScalar]meanAcc{}
+	for _, r := range recs {
+		for k, v := range r.Scalars {
+			key := stageScalar{r.Stage, k}
+			acc := sums[key]
+			acc.mean += v
+			acc.n++
+			sums[key] = acc
+		}
+	}
+	for key, acc := range sums {
+		acc.mean /= float64(acc.n)
+		sums[key] = acc
+	}
+	return sums
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,214 @@
+package warehouse
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func rec(campaign string, point int, stage string, scalars map[string]float64) Record {
+	return Record{
+		Campaign: campaign, Point: point, Stage: stage,
+		Node: "w0", Corner: "typ", Key: "k", Design: "tiny",
+		Seed: 1, FreqGHz: 0.5, Outcome: "ok", Scalars: scalars, Unix: 100,
+	}
+}
+
+// TestDedupeFirstWins: at-least-once delivery from the fleet must not
+// multiply records — one survivor per (campaign, point, stage).
+func TestDedupeFirstWins(t *testing.T) {
+	w, err := Open("", journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	first := rec("c", 0, "sta", map[string]float64{"wns_ps": -12})
+	for i := 0; i < 3; i++ {
+		if err := w.Append(first); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Different node, same triple: still a duplicate (determinism makes
+	// the content identical; first wins).
+	dup := first
+	dup.Node = "w1"
+	if err := w.Append(dup); err != nil {
+		t.Fatal(err)
+	}
+	// A different stage of the same point is NOT a duplicate.
+	if err := w.Append(rec("c", 0, "synth", map[string]float64{"area_um2": 9})); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Records != 2 || st.Deduped != 3 {
+		t.Fatalf("stats = %+v, want 2 records / 3 deduped", st)
+	}
+	if got := w.Select(Query{Campaign: "c", Node: "w0"}); len(got) != 2 {
+		t.Fatalf("first-wins lost: node filter w0 matched %d, want 2", len(got))
+	}
+}
+
+// TestWALReplayByteIdentical: reopen after a simulated crash (no Close)
+// and the canonical dump must be byte-identical — the ISSUE's
+// durability acceptance clause.
+func TestWALReplayByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		for _, stage := range []string{"synth", "place", "sta"} {
+			if err := w.Append(rec("c", p, stage, map[string]float64{"t_ms": float64(10 * p), "wns_ps": -float64(p)})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var before bytes.Buffer
+	w.DumpCanonical(&before, "c")
+	// Crash: drop the handle without Close; the WAL is append-before-
+	// visible so everything dumped above is already durable.
+
+	w2, err := Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var after bytes.Buffer
+	w2.DumpCanonical(&after, "c")
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("replay dump differs:\n--- before\n%s--- after\n%s", &before, &after)
+	}
+	if st := w2.Stats(); st.Replayed != 12 || st.Records != 12 {
+		t.Fatalf("replay stats = %+v, want 12 replayed / 12 records", st)
+	}
+}
+
+// TestSelectAggregate: canonical ordering and histogram folding.
+func TestSelectAggregate(t *testing.T) {
+	w, _ := Open("", journal.Options{})
+	defer w.Close()
+	// Insert out of order; Select must come back (campaign, point, stage).
+	w.Append(rec("c", 1, "sta", map[string]float64{"wns_ps": -200})) //nolint:errcheck
+	w.Append(rec("c", 0, "synth", map[string]float64{"t_ms": 5}))   //nolint:errcheck
+	w.Append(rec("c", 0, "place", map[string]float64{"t_ms": 7}))   //nolint:errcheck
+	got := w.Select(Query{Campaign: "c"})
+	if len(got) != 3 || got[0].Stage != "place" || got[1].Stage != "synth" || got[2].Point != 1 {
+		t.Fatalf("canonical order broken: %+v", got)
+	}
+	snap := w.Aggregate(Query{Campaign: "c", Stage: "sta"}, "wns_ps")
+	if snap.Count != 1 || snap.MaxUs != 200 {
+		t.Fatalf("aggregate = %+v, want count 1 max 200 (magnitude of -200)", snap)
+	}
+	if snap = w.Aggregate(Query{Campaign: "c"}, "t_ms"); snap.Count != 2 {
+		t.Fatalf("t_ms aggregate count = %d, want 2", snap.Count)
+	}
+}
+
+// TestMine flags regressions in the right direction for both
+// lower-is-better and higher-is-better scalars.
+func TestMine(t *testing.T) {
+	w, _ := Open("", journal.Options{})
+	defer w.Close()
+	w.Append(rec("base", 0, "droute", map[string]float64{"t_ms": 100, "wns_ps": -50})) //nolint:errcheck
+	w.Append(rec("head", 0, "droute", map[string]float64{"t_ms": 110, "wns_ps": -40})) //nolint:errcheck
+	regs := Mine(w, "base", "head", 1.0)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(regs), regs)
+	}
+	// Worse-first ordering: the 10% runtime regression leads.
+	if !regs[0].Worse || regs[0].Scalar != "t_ms" || regs[0].DeltaPct < 9.9 || regs[0].DeltaPct > 10.1 {
+		t.Fatalf("runtime regression mis-flagged: %+v", regs[0])
+	}
+	// wns went -50 → -40: numerically +20% but slack improved.
+	if regs[1].Worse || regs[1].Scalar != "wns_ps" {
+		t.Fatalf("slack improvement mis-flagged as regression: %+v", regs[1])
+	}
+	var buf bytes.Buffer
+	WriteRegressions(&buf, regs)
+	if !strings.Contains(buf.String(), "REGRESSED droute.t_ms") || !strings.Contains(buf.String(), "improved droute.wns_ps") {
+		t.Fatalf("report:\n%s", buf.String())
+	}
+}
+
+// TestHTTPIngestQueryTail drives the full HTTP surface: client-batch
+// ingest, query, aggregate, canonical dump, stats, and the SSE tail.
+func TestHTTPIngestQueryTail(t *testing.T) {
+	w, _ := Open("", journal.Options{})
+	defer w.Close()
+	srv := httptest.NewServer(NewHandler(w))
+	defer srv.Close()
+
+	// Open the tail before ingesting so the events stream to it.
+	tailResp, err := http.Get(srv.URL + "/v1/tail?stage=sta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tailResp.Body.Close()
+
+	c := NewClient(srv.URL)
+	batch := []Record{
+		rec("c", 0, "sta", map[string]float64{"wns_ps": -3}),
+		rec("c", 0, "synth", map[string]float64{"t_ms": 4}),
+	}
+	if err := c.AppendBatch(batch); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := c.Append(batch[0]); err != nil { // duplicate, absorbed
+		t.Fatal(err)
+	}
+
+	var got []Record
+	resp, err := http.Get(srv.URL + "/v1/records?campaign=c&stage=sta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got) != 1 || got[0].Scalars["wns_ps"] != -3 {
+		t.Fatalf("query returned %+v", got)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/dump?campaign=c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := readAll(resp)
+	if !strings.Contains(dump, "stage=sta") || !strings.Contains(dump, "wns_ps=-3") {
+		t.Fatalf("dump:\n%s", dump)
+	}
+	if strings.Contains(dump, "w0") {
+		t.Fatalf("canonical dump leaked the node name:\n%s", dump)
+	}
+
+	// The tail saw the sta record (filtered) as an SSE event.
+	sc := bufio.NewScanner(tailResp.Body)
+	var event, data string
+	for sc.Scan() && data == "" {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if event != "record" || !strings.Contains(data, `"Stage":"sta"`) {
+		t.Fatalf("tail event=%q data=%q", event, data)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.String(), err
+}

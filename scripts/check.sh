@@ -47,6 +47,18 @@
 #                             1-node vs 4-node pulpino throughput pair
 #                             written to BENCH_dist.json (gated at
 #                             >= 1.8x at an identical qor_hash)
+#   scripts/check.sh obs      distributed observability tier: doubled
+#                             -race over the trace/dist/warehouse
+#                             packages, then a 3-node DistSweep that
+#                             must emit ONE stitched Chrome trace
+#                             (tracecheck-valid, spans from every node
+#                             parented under the coordinator's campaign
+#                             span) and a METRICS warehouse whose
+#                             canonical dump is byte-identical to the
+#                             single-node run's — also under the flaky
+#                             chaos profile (retries visible as
+#                             dist.rpc spans) and after a kill -9 of
+#                             the run writing the warehouse WAL
 #   scripts/check.sh chaos    network chaos tier: doubled -race over the
 #                             chaos/dist packages, a soak matrix of
 #                             every deterministic fault profile (flaky,
@@ -83,7 +95,9 @@
 # tracing pair is gated too: BenchmarkCampaignTraced (tracer armed, every
 # point/stage/iteration emitting spans) may be at most 5% slower than the
 # untraced BenchmarkCampaignParallel — best of five interleaved A/B
-# pairs, because full observability must stay in the noise. (Tracing *off* costs
+# pairs, because full observability must stay in the noise — and
+# BenchmarkCampaignWarehoused (a warehouse emitter recording every flow
+# stage as a METRICS record) carries the same 5% bar. (Tracing *off* costs
 # one nil-check per span site; BenchmarkSpanDisabled in internal/trace
 # pins that at ~3ns and 0 allocs.)
 set -eu
@@ -121,7 +135,7 @@ if [ "${1:-}" = "bench" ]; then
     tout=""
     for _ in 1 2 3 4 5; do
         tout="$tout
-$(go test -run=NONE -bench='BenchmarkCampaign(Parallel|Traced)$' -benchtime=1s .)"
+$(go test -run=NONE -bench='BenchmarkCampaign(Parallel|Traced|Warehoused)$' -benchtime=1s .)"
     done
     echo "$tout"
     { echo "$out"; echo "===TRACED==="; echo "$tout"; } | awk '
@@ -137,24 +151,36 @@ $(go test -run=NONE -bench='BenchmarkCampaign(Parallel|Traced)$' -benchtime=1s .
         traced_section && /BenchmarkCampaignTraced/ {
             if (pcur > 0) {
                 ratio = ($3 + 0) / pcur
-                if (best == "" || ratio < best) { best = ratio; pmin = pcur; tmin = $3 + 0 }
+                if (best == "" || ratio < best) { best = ratio; tmin = $3 + 0 }
             }
-            pcur = 0
             for (i = 1; i <= NF; i++) if ($i == "spans") spans = $(i-1)
         }
+        traced_section && /BenchmarkCampaignWarehoused/ {
+            if (pcur > 0) {
+                ratio = ($3 + 0) / pcur
+                if (wbest == "" || ratio < wbest) { wbest = ratio; wmin = $3 + 0 }
+            }
+            pcur = 0
+        }
         END {
-            if (serial == "" || parallel == "" || parallel == 0 || best == "") {
+            if (serial == "" || parallel == "" || parallel == 0 || best == "" || wbest == "") {
                 print "check.sh: could not parse benchmark output" > "/dev/stderr"
                 exit 1
             }
             speedup = serial / parallel
             overhead = (best - 1) * 100
+            woverhead = (wbest - 1) * 100
             printf "campaign_speedup_x=%.2f\n", speedup
             printf "trace_overhead_pct=%.2f\n", overhead
-            printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s,\"traced_ns_per_op\":%.0f,\"trace_overhead_pct\":%.2f,\"spans_per_op\":%s}\n", \
-                serial, parallel, speedup, hit, qor, tmin, overhead, spans > "BENCH_campaign.json.tmp"
+            printf "warehouse_overhead_pct=%.2f\n", woverhead
+            printf "{\"benchmark\":\"campaign\",\"serial_ns_per_op\":%s,\"parallel_ns_per_op\":%s,\"speedup_x\":%.2f,\"cache_hit_rate\":%s,\"qor_area_sum\":%s,\"traced_ns_per_op\":%.0f,\"trace_overhead_pct\":%.2f,\"spans_per_op\":%s,\"warehoused_ns_per_op\":%.0f,\"warehouse_overhead_pct\":%.2f}\n", \
+                serial, parallel, speedup, hit, qor, tmin, overhead, spans, wmin, woverhead > "BENCH_campaign.json.tmp"
             if (overhead > 5) {
                 printf "check.sh: tracing overhead %.2f%% above 5%% gate\n", overhead > "/dev/stderr"
+                exit 1
+            }
+            if (woverhead > 5) {
+                printf "check.sh: warehouse overhead %.2f%% above 5%% gate\n", woverhead > "/dev/stderr"
                 exit 1
             }
         }'
@@ -834,4 +860,104 @@ if [ "${1:-}" = "chaos" ]; then
         exit 1
     }
     echo "chaos_gate=ok"
+fi
+
+if [ "${1:-}" = "obs" ]; then
+    # Distributed observability tier: every run queryable, every node's
+    # spans in one stitched trace.
+    #
+    # 1. Doubled race tests over the tracing substrate (collector,
+    #    shipper, histogram merge), the dist layer that propagates trace
+    #    context, and the warehouse (WAL, dedupe, HTTP ingest, tail).
+    go test -race -count=2 ./internal/trace/... ./internal/dist/... \
+        ./internal/warehouse/...
+
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    go build -o "$work/sprflow" ./cmd/sprflow
+    go build -o "$work/tracecheck" ./cmd/tracecheck
+
+    # 2. Single-node reference: sweep stdout + canonical warehouse dump.
+    #    -parallel 1 gives each node one slot in the 3-node runs below,
+    #    so every node computes points — the stitched trace must carry
+    #    spans from all three, not just the fastest.
+    sweep_flags="-design tiny -sweep 4 -parallel 1"
+    "$work/sprflow" $sweep_flags \
+        -warehouse mem -warehouse-dump "$work/ref.dump" \
+        > "$work/ref.out" 2> /dev/null
+
+    # 3. 3-node DistSweep: byte-identical stdout AND warehouse dump,
+    #    plus one stitched, tracecheck-valid Chrome trace whose events
+    #    cover the coordinator, the per-attempt RPCs, and worker/store
+    #    server spans from every node.
+    "$work/sprflow" $sweep_flags -dist-nodes 3 \
+        -trace "$work/dist-trace.json" \
+        -warehouse mem -warehouse-dump "$work/dist.dump" \
+        > "$work/dist.out" 2> /dev/null
+    if ! diff -u "$work/ref.out" "$work/dist.out"; then
+        echo "check.sh: 3-node observed sweep differs from single-node reference" >&2
+        exit 1
+    fi
+    if ! diff -u "$work/ref.dump" "$work/dist.dump"; then
+        echo "check.sh: 3-node warehouse dump differs from single-node dump" >&2
+        exit 1
+    fi
+    "$work/tracecheck" \
+        -require 'dist.coordinate,dist.dispatch,dist.rpc,dist.worker.run,dist.store.put,campaign.run,campaign.point,flow.synth,flow.sta' \
+        -require-arg 'node=w0,node=w1,node=w2' \
+        "$work/dist-trace.json"
+
+    # 4. The same deployment under the flaky chaos profile: retries show
+    #    up as dist.rpc spans (outcome retry) in the stitched trace, the
+    #    fault counters hit the metrics ledger, and neither stdout nor
+    #    the warehouse dump moves a byte. (Node coverage is asserted on
+    #    the clean trace above — under chaos, reroutes can legitimately
+    #    starve a suspected node of points.)
+    "$work/sprflow" $sweep_flags -dist-nodes 3 \
+        -chaos-profile flaky -chaos-seed 7 \
+        -trace "$work/chaos-trace.json" \
+        -warehouse mem -warehouse-dump "$work/chaos.dump" \
+        > "$work/chaos.out" 2> "$work/chaos.err"
+    if ! diff -u "$work/ref.out" "$work/chaos.out"; then
+        echo "check.sh: observed sweep under chaos differs from reference" >&2
+        cat "$work/chaos.err" >&2
+        exit 1
+    fi
+    if ! diff -u "$work/ref.dump" "$work/chaos.dump"; then
+        echo "check.sh: warehouse dump under chaos differs from reference" >&2
+        exit 1
+    fi
+    if ! grep -q 'chaos\.fault\.injected' "$work/chaos.err"; then
+        echo "check.sh: obs chaos run injected no faults" >&2
+        exit 1
+    fi
+    "$work/tracecheck" \
+        -require 'dist.coordinate,dist.dispatch,dist.rpc,dist.worker.run,campaign.point,flow.sta' \
+        "$work/chaos-trace.json"
+
+    # 5. Warehouse durability: kill -9 a run writing the warehouse WAL,
+    #    rerun against the same directory — replayed records and fresh
+    #    computes must dedupe into a dump byte-identical to the
+    #    reference.
+    "$work/sprflow" $sweep_flags -dist-nodes 3 -warehouse "$work/whwal" \
+        > /dev/null 2>&1 &
+    pid=$!
+    sleep 0.3
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    "$work/sprflow" $sweep_flags -dist-nodes 3 -warehouse "$work/whwal" \
+        -warehouse-dump "$work/replay.dump" \
+        > "$work/replay.out" 2> "$work/replay.err"
+    if ! diff -u "$work/ref.out" "$work/replay.out"; then
+        echo "check.sh: sweep rerun over a killed warehouse WAL differs from reference" >&2
+        exit 1
+    fi
+    if ! diff -u "$work/ref.dump" "$work/replay.dump"; then
+        echo "check.sh: warehouse dump after kill -9 replay differs from reference" >&2
+        exit 1
+    fi
+    if ! grep -q ' [1-9][0-9]* replayed' "$work/replay.err"; then
+        echo "check.sh: kill -9 left no warehouse records to replay (machine too fast/slow?)" >&2
+    fi
+    echo "obs_gate=ok"
 fi
